@@ -1,0 +1,216 @@
+//! Memory-cell and data-converter specifications.
+//!
+//! These types parameterize the quantized mode of the functional simulator
+//! (`pim-sim`) and the energy model ([`crate::energy`]). The paper itself
+//! reasons only in computing cycles; device specifics are the substrate we
+//! must supply to make those cycles executable. Defaults follow the RRAM
+//! configurations common to the papers cited by VW-SDK (ISAAC-class arrays:
+//! 1–2 bits per cell, 8-bit ADCs, 1-bit DACs with bit-serial inputs).
+
+use crate::{ArchError, Result};
+use std::fmt;
+
+/// The memory technology realizing the crossbar cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellTechnology {
+    /// Resistive RAM (the technology of paper refs. \[2\], \[3\], \[5\]).
+    Rram,
+    /// 6T SRAM operated as an analog in-memory processor (paper ref. \[8\]).
+    Sram,
+    /// Idealized cell with unbounded precision — used by the exact
+    /// functional-verification mode.
+    Ideal,
+}
+
+impl fmt::Display for CellTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CellTechnology::Rram => "RRAM",
+            CellTechnology::Sram => "SRAM",
+            CellTechnology::Ideal => "ideal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One crossbar cell: technology plus storable precision.
+///
+/// A `w`-bit weight is stored across `ceil(w / bits_per_cell)` physical
+/// columns ("bit slicing"); the mapping layer accounts for that expansion
+/// when a quantized device is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellDevice {
+    /// Technology of the cell.
+    pub technology: CellTechnology,
+    /// Bits stored per physical cell (0 = unbounded/ideal).
+    pub bits_per_cell: u8,
+}
+
+impl CellDevice {
+    /// An idealized cell holding a full-precision weight (the default for
+    /// functional verification).
+    pub fn ideal() -> Self {
+        Self {
+            technology: CellTechnology::Ideal,
+            bits_per_cell: 0,
+        }
+    }
+
+    /// A 2-bit RRAM cell, the configuration of ISAAC-class accelerators.
+    pub fn rram_2bit() -> Self {
+        Self {
+            technology: CellTechnology::Rram,
+            bits_per_cell: 2,
+        }
+    }
+
+    /// A binary SRAM cell as in the paper's ref. \[8\].
+    pub fn sram_1bit() -> Self {
+        Self {
+            technology: CellTechnology::Sram,
+            bits_per_cell: 1,
+        }
+    }
+
+    /// Physical columns needed to store one `weight_bits`-wide weight.
+    ///
+    /// Ideal cells (bits_per_cell = 0) always need exactly one column.
+    pub fn columns_per_weight(&self, weight_bits: u8) -> usize {
+        if self.bits_per_cell == 0 {
+            1
+        } else {
+            usize::from(weight_bits.div_ceil(self.bits_per_cell))
+        }
+    }
+}
+
+impl Default for CellDevice {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// Analog-to-digital converter at the foot of each column (or shared by a
+/// group of columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdcSpec {
+    /// Converter resolution in bits.
+    pub bits: u8,
+    /// Number of columns sharing one converter (≥ 1). Sharing multiplies
+    /// the column-readout time but divides converter area/energy.
+    pub columns_per_adc: usize,
+}
+
+impl AdcSpec {
+    /// Creates an ADC spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if `bits` is zero or `columns_per_adc` is zero.
+    pub fn new(bits: u8, columns_per_adc: usize) -> Result<Self> {
+        if bits == 0 {
+            return Err(ArchError::new("ADC resolution must be >= 1 bit"));
+        }
+        if columns_per_adc == 0 {
+            return Err(ArchError::new("columns_per_adc must be >= 1"));
+        }
+        Ok(Self {
+            bits,
+            columns_per_adc,
+        })
+    }
+
+    /// The 8-bit per-column ADC typical of the cited RRAM accelerators.
+    pub fn isaac_like() -> Self {
+        Self {
+            bits: 8,
+            columns_per_adc: 1,
+        }
+    }
+
+    /// Distinct output levels (`2^bits`).
+    pub fn levels(&self) -> u64 {
+        1u64 << self.bits.min(63)
+    }
+
+    /// Conversions performed to read `active_cols` columns once.
+    pub fn conversions_for(&self, active_cols: usize) -> u64 {
+        active_cols as u64
+    }
+}
+
+/// Digital-to-analog converter driving each row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DacSpec {
+    /// Converter resolution in bits; 1 means bit-serial input streaming.
+    pub bits: u8,
+}
+
+impl DacSpec {
+    /// Creates a DAC spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if `bits` is zero.
+    pub fn new(bits: u8) -> Result<Self> {
+        if bits == 0 {
+            return Err(ArchError::new("DAC resolution must be >= 1 bit"));
+        }
+        Ok(Self { bits })
+    }
+
+    /// 1-bit (bit-serial) input driver, the common RRAM-accelerator choice.
+    pub fn bit_serial() -> Self {
+        Self { bits: 1 }
+    }
+
+    /// Input passes needed for an `input_bits`-wide activation.
+    pub fn passes_for(&self, input_bits: u8) -> u64 {
+        u64::from(input_bits.div_ceil(self.bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_cell_needs_one_column() {
+        assert_eq!(CellDevice::ideal().columns_per_weight(8), 1);
+        assert_eq!(CellDevice::ideal().columns_per_weight(32), 1);
+    }
+
+    #[test]
+    fn bit_slicing_rounds_up() {
+        let c = CellDevice::rram_2bit();
+        assert_eq!(c.columns_per_weight(8), 4);
+        assert_eq!(c.columns_per_weight(7), 4);
+        assert_eq!(c.columns_per_weight(1), 1);
+        let s = CellDevice::sram_1bit();
+        assert_eq!(s.columns_per_weight(8), 8);
+    }
+
+    #[test]
+    fn adc_validation_and_levels() {
+        assert!(AdcSpec::new(0, 1).is_err());
+        assert!(AdcSpec::new(8, 0).is_err());
+        let adc = AdcSpec::new(8, 1).unwrap();
+        assert_eq!(adc.levels(), 256);
+        assert_eq!(adc.conversions_for(512), 512);
+    }
+
+    #[test]
+    fn dac_passes_round_up() {
+        let dac = DacSpec::bit_serial();
+        assert_eq!(dac.passes_for(8), 8);
+        let d4 = DacSpec::new(4).unwrap();
+        assert_eq!(d4.passes_for(8), 2);
+        assert_eq!(d4.passes_for(9), 3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CellTechnology::Rram.to_string(), "RRAM");
+        assert_eq!(CellTechnology::Ideal.to_string(), "ideal");
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion microbenches of the closed-form cost equations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_arch::PimArray;
+use pim_cost::model;
+use pim_cost::window::{Candidates, ParallelWindow};
+use pim_nets::ConvLayer;
+use std::hint::black_box;
+
+fn bench_cost_functions(c: &mut Criterion) {
+    let array = PimArray::new(512, 512).unwrap();
+    let layer = ConvLayer::square("c", 56, 3, 128, 256).unwrap();
+    let pw = ParallelWindow::new(4, 3).unwrap();
+
+    c.bench_function("cost/vw_cost_single_window", |b| {
+        b.iter(|| model::vw_cost(black_box(&layer), array, black_box(pw)))
+    });
+    c.bench_function("cost/im2col", |b| {
+        b.iter(|| model::im2col_cost(black_box(&layer), array))
+    });
+    c.bench_function("cost/sdk_rule", |b| {
+        b.iter(|| model::sdk_cost(black_box(&layer), array))
+    });
+    c.bench_function("cost/smd", |b| {
+        b.iter(|| model::smd_cost(black_box(&layer), array))
+    });
+}
+
+fn bench_candidate_enumeration(c: &mut Criterion) {
+    let layer = ConvLayer::square("c", 224, 3, 64, 64).unwrap();
+    c.bench_function("cost/candidates_224x224", |b| {
+        b.iter(|| Candidates::for_layer(black_box(&layer)).count())
+    });
+}
+
+criterion_group!(benches, bench_cost_functions, bench_candidate_enumeration);
+criterion_main!(benches);

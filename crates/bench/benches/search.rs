@@ -1,0 +1,44 @@
+//! Criterion benches of the Algorithm 1 window search (the paper's
+//! offline cost) and full-network planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_arch::PimArray;
+use pim_cost::search::{optimal_window_with, SearchOptions};
+use pim_nets::{zoo, ConvLayer};
+use std::hint::black_box;
+use vw_sdk::Planner;
+
+fn bench_layer_search(c: &mut Criterion) {
+    let array = PimArray::new(512, 512).unwrap();
+    let mut group = c.benchmark_group("algorithm1_search");
+    let layers = [
+        ("resnet_stem_112x7", ConvLayer::square("s", 112, 7, 3, 64).unwrap()),
+        ("vgg_conv2_224x3", ConvLayer::square("c", 224, 3, 64, 64).unwrap()),
+        ("vgg_conv5_56x3", ConvLayer::square("c", 56, 3, 128, 256).unwrap()),
+        ("deep_7x3", ConvLayer::square("c", 7, 3, 512, 512).unwrap()),
+    ];
+    for (name, layer) in &layers {
+        group.bench_with_input(BenchmarkId::new("full", name), layer, |b, l| {
+            b.iter(|| optimal_window_with(black_box(l), array, SearchOptions::paper()))
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", name), layer, |b, l| {
+            b.iter(|| optimal_window_with(black_box(l), array, SearchOptions::pruned()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_planning(c: &mut Criterion) {
+    let planner = Planner::new(PimArray::new(512, 512).unwrap());
+    let vgg = zoo::vgg13();
+    let resnet = zoo::resnet18_table1();
+    c.bench_function("plan_network/vgg13", |b| {
+        b.iter(|| planner.plan_network(black_box(&vgg)).unwrap())
+    });
+    c.bench_function("plan_network/resnet18", |b| {
+        b.iter(|| planner.plan_network(black_box(&resnet)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_layer_search, bench_network_planning);
+criterion_main!(benches);

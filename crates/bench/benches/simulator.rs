@@ -1,0 +1,46 @@
+//! Criterion benches of the functional crossbar simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_arch::PimArray;
+use pim_mapping::MappingAlgorithm;
+use pim_nets::ConvLayer;
+use pim_sim::Engine;
+use pim_tensor::gen;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let layer = ConvLayer::square("c", 12, 3, 4, 8).unwrap();
+    let array = PimArray::new(64, 64).unwrap();
+    let ifm = gen::random3::<i64>(4, 12, 12, 1);
+    let weights = gen::random4::<i64>(8, 4, 3, 3, 2);
+    let engine = Engine::new();
+
+    let mut group = c.benchmark_group("simulator");
+    for alg in [
+        MappingAlgorithm::Im2col,
+        MappingAlgorithm::Sdk,
+        MappingAlgorithm::VwSdk,
+        MappingAlgorithm::Smd,
+    ] {
+        let plan = alg.plan(&layer, array).unwrap();
+        group.bench_with_input(BenchmarkId::new("run", alg.label()), &plan, |b, p| {
+            b.iter(|| engine.run(black_box(p), &ifm, &weights).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_layout_generation(c: &mut Criterion) {
+    let layer = ConvLayer::square("c", 56, 3, 128, 256).unwrap();
+    let array = PimArray::new(512, 512).unwrap();
+    let plan = MappingAlgorithm::VwSdk.plan(&layer, array).unwrap();
+    c.bench_function("layout/vgg13_conv5_tile", |b| {
+        b.iter(|| pim_mapping::layout::TileLayout::build(black_box(&plan), 0, 0).unwrap())
+    });
+    c.bench_function("layout/utilization_vgg13_conv5", |b| {
+        b.iter(|| pim_mapping::utilization::utilization(black_box(&plan)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_layout_generation);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `vw_sdk_bench::table1`.
+
+fn main() {
+    print!("{}", vw_sdk_bench::table1::report());
+}

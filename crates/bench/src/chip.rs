@@ -1,0 +1,165 @@
+//! Extension A7: chip-scale deployment and pipelining.
+//!
+//! How do the mappings compare when the substrate is a many-array chip
+//! (the setting of the paper's ref. \[1\], PipeLayer) instead of a single
+//! crossbar? The pipeline bottleneck is set by per-stage cycles, where
+//! VW-SDK's small `NPW` dominates — even though its channel-granular
+//! tiling demands a few more resident weight tiles than im2col.
+
+use pim_arch::{latency::LatencyModel, PimArray};
+use pim_chip::allocate::deploy;
+use pim_chip::pipeline::PipelineReport;
+use pim_chip::ChipConfig;
+use pim_mapping::MappingAlgorithm;
+use pim_nets::{zoo, Network};
+use pim_report::fmt_f64;
+use pim_report::table::{Align, TextTable};
+
+/// Chip sizes (number of 512×512 arrays) swept by the experiment.
+pub const CHIP_SIZES: [usize; 4] = [16, 32, 64, 128];
+
+/// One experiment row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipRow {
+    /// Number of arrays on the chip.
+    pub arrays: usize,
+    /// Mapping algorithm.
+    pub algorithm: MappingAlgorithm,
+    /// Weight tiles demanded by the network.
+    pub tiles: u64,
+    /// Whether all tiles are resident.
+    pub resident: bool,
+    /// Single-image latency in cycles.
+    pub latency: u64,
+    /// Pipeline bottleneck in cycles.
+    pub bottleneck: u64,
+}
+
+/// Sweeps one network across chip sizes and the paper's algorithms.
+pub fn sweep(network: &Network) -> Vec<ChipRow> {
+    let mut rows = Vec::new();
+    for &n in &CHIP_SIZES {
+        let chip = ChipConfig::new(n, PimArray::new(512, 512).expect("positive"), 2_000);
+        for alg in MappingAlgorithm::paper_trio() {
+            let deployment = deploy(network, alg, &chip).expect("chip larger than layer count");
+            let report = PipelineReport::new(&deployment);
+            rows.push(ChipRow {
+                arrays: n,
+                algorithm: alg,
+                tiles: deployment.tiles_demanded(),
+                resident: deployment.is_fully_resident(),
+                latency: report.latency_cycles(),
+                bottleneck: report.bottleneck_cycles(),
+            });
+        }
+    }
+    rows
+}
+
+/// The full printable chip report.
+pub fn report() -> String {
+    let mut out = String::from(
+        "== A7: chip-scale pipelined deployment (512x512 arrays, 2000-cycle reload) ==\n\n",
+    );
+    let latency_model = LatencyModel::isaac_like();
+    for network in [zoo::resnet18_table1(), zoo::vgg13()] {
+        let mut table = TextTable::new(&[
+            "arrays",
+            "algorithm",
+            "tiles",
+            "resident",
+            "latency (cyc)",
+            "bottleneck",
+            "throughput (img/s)",
+        ]);
+        for c in [0, 2, 4, 5, 6] {
+            table.align(c, Align::Right);
+        }
+        for row in sweep(&network) {
+            let ips = latency_model.cycles_per_second() / row.bottleneck as f64;
+            table.add_row(&[
+                row.arrays.to_string(),
+                row.algorithm.label().to_string(),
+                row.tiles.to_string(),
+                if row.resident { "yes" } else { "no" }.to_string(),
+                row.latency.to_string(),
+                row.bottleneck.to_string(),
+                fmt_f64(ips, 0),
+            ]);
+        }
+        out.push_str(&format!("{}\n{}\n", network.name(), table.render()));
+    }
+    out.push_str(
+        "Reading: VW-SDK's channel-granular tiling demands a few MORE\n\
+         weight tiles than im2col (23 vs 20 on ResNet-18), but once\n\
+         resident its far smaller per-stage NPW wins the pipeline\n\
+         bottleneck by ~8x; on starved chips both mappings pay reload\n\
+         penalties and converge.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_expected_shape() {
+        let rows = sweep(&zoo::resnet18_table1());
+        assert_eq!(rows.len(), CHIP_SIZES.len() * 3);
+    }
+
+    #[test]
+    fn vw_bottleneck_dominates_im2col_when_resident() {
+        let rows = sweep(&zoo::resnet18_table1());
+        let at = |arrays: usize, alg: MappingAlgorithm| {
+            rows.iter()
+                .find(|r| r.arrays == arrays && r.algorithm == alg)
+                .unwrap()
+                .clone()
+        };
+        let vw = at(128, MappingAlgorithm::VwSdk);
+        let im2col = at(128, MappingAlgorithm::Im2col);
+        assert!(vw.resident && im2col.resident);
+        assert!(vw.bottleneck < im2col.bottleneck);
+    }
+
+    #[test]
+    fn residency_improves_with_chip_size() {
+        let rows = sweep(&zoo::vgg13());
+        for alg in MappingAlgorithm::paper_trio() {
+            let series: Vec<bool> = CHIP_SIZES
+                .iter()
+                .map(|&n| {
+                    rows.iter()
+                        .find(|r| r.arrays == n && r.algorithm == alg)
+                        .unwrap()
+                        .resident
+                })
+                .collect();
+            // Once resident, stays resident as the chip grows.
+            for pair in series.windows(2) {
+                assert!(pair[1] || !pair[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_never_grows_with_more_arrays() {
+        let rows = sweep(&zoo::vgg13());
+        for alg in MappingAlgorithm::paper_trio() {
+            let latencies: Vec<u64> = CHIP_SIZES
+                .iter()
+                .map(|&n| {
+                    rows.iter()
+                        .find(|r| r.arrays == n && r.algorithm == alg)
+                        .unwrap()
+                        .latency
+                })
+                .collect();
+            for pair in latencies.windows(2) {
+                assert!(pair[1] <= pair[0], "{alg}: {latencies:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Table I: per-layer SDK / VW-SDK windows and total cycles for VGG-13 and
+//! ResNet-18 on a 512×512 array.
+
+use crate::array512;
+use pim_nets::zoo;
+use vw_sdk::render::render_table1;
+use vw_sdk::{NetworkReport, Planner};
+
+/// Plans both Table I networks with the paper's three algorithms.
+pub fn reports() -> Vec<NetworkReport> {
+    let planner = Planner::new(array512());
+    vec![
+        planner
+            .plan_network(&zoo::vgg13())
+            .expect("planning is total"),
+        planner
+            .plan_network(&zoo::resnet18_table1())
+            .expect("planning is total"),
+    ]
+}
+
+/// The full printable Table I reproduction.
+pub fn report() -> String {
+    let mut out = String::from("== Table I: CNN information and mapping results ==\n\n");
+    for network in reports() {
+        out.push_str(&render_table1(&network));
+        out.push('\n');
+    }
+    out.push_str(
+        "Paper reference totals: VGG-13 SDK 114697 / VW-SDK 77102;\n\
+         ResNet-18 SDK 7240 / VW-SDK 4294.\n\
+         Note: the paper's Table I prints ICt=64 for VGG-13 layer 2 under\n\
+         VW-SDK; eq. (4) gives 32 (= floor(512/16)), and only ICt=32 is\n\
+         consistent with the printed total of 77102. We report 32.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_mapping::MappingAlgorithm;
+
+    #[test]
+    fn totals_match_paper() {
+        let reports = reports();
+        assert_eq!(reports[0].total_cycles(MappingAlgorithm::Sdk), Some(114_697));
+        assert_eq!(reports[0].total_cycles(MappingAlgorithm::VwSdk), Some(77_102));
+        assert_eq!(reports[1].total_cycles(MappingAlgorithm::Sdk), Some(7_240));
+        assert_eq!(reports[1].total_cycles(MappingAlgorithm::VwSdk), Some(4_294));
+    }
+
+    #[test]
+    fn vw_descriptors_match_paper_rows() {
+        let reports = reports();
+        let vgg_expect = [
+            "10x3x3x64",
+            "4x4x32x64",  // paper prints ICt=64 (typo); see report() note
+            "4x4x32x128",
+            "4x4x32x128",
+            "4x3x42x256",
+            "4x3x42x256",
+            "3x3x256x512",
+            "3x3x512x512",
+            "3x3x512x512",
+            "3x3x512x512",
+        ];
+        for (cmp, expect) in reports[0].layers().iter().zip(vgg_expect) {
+            let plan = cmp.plan_for(MappingAlgorithm::VwSdk).unwrap();
+            assert_eq!(plan.descriptor(), expect, "layer {}", cmp.layer().name());
+        }
+        let resnet_expect = [
+            "10x8x3x64",
+            "4x4x32x64",
+            "4x4x32x128",
+            "4x3x42x256",
+            "3x3x512x512",
+        ];
+        for (cmp, expect) in reports[1].layers().iter().zip(resnet_expect) {
+            let plan = cmp.plan_for(MappingAlgorithm::VwSdk).unwrap();
+            assert_eq!(plan.descriptor(), expect, "layer {}", cmp.layer().name());
+        }
+    }
+
+    #[test]
+    fn sdk_windows_match_paper_rows() {
+        let reports = reports();
+        let vgg_sdk: Vec<String> = reports[0]
+            .layers()
+            .iter()
+            .map(|c| c.plan_for(MappingAlgorithm::Sdk).unwrap().window().to_string())
+            .collect();
+        assert_eq!(
+            vgg_sdk,
+            vec!["4x4", "4x4", "4x4", "3x3", "3x3", "3x3", "3x3", "3x3", "3x3", "3x3"]
+        );
+        let resnet_sdk: Vec<String> = reports[1]
+            .layers()
+            .iter()
+            .map(|c| c.plan_for(MappingAlgorithm::Sdk).unwrap().window().to_string())
+            .collect();
+        assert_eq!(resnet_sdk, vec!["8x8", "4x4", "3x3", "3x3", "3x3"]);
+    }
+
+    #[test]
+    fn report_mentions_the_known_typo() {
+        assert!(report().contains("ICt=64"));
+    }
+}

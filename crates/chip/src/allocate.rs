@@ -1,0 +1,237 @@
+//! Array allocation across a network's layers.
+
+use crate::{ChipConfig, ChipError, Result};
+use pim_mapping::{MappingAlgorithm, MappingPlan};
+use pim_nets::Network;
+
+/// One layer's share of the chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerAllocation {
+    plan: MappingPlan,
+    tiles: u64,
+    arrays: usize,
+}
+
+impl LayerAllocation {
+    /// The layer's mapping plan.
+    pub fn plan(&self) -> &MappingPlan {
+        &self.plan
+    }
+
+    /// Weight tiles the plan needs resident (`AR × AC`).
+    pub fn tiles(&self) -> u64 {
+        self.tiles
+    }
+
+    /// Arrays granted to this layer (≥ 1).
+    pub fn arrays(&self) -> usize {
+        self.arrays
+    }
+
+    /// `true` when every tile has its own array (no reloading).
+    pub fn is_resident(&self) -> bool {
+        self.arrays as u64 >= self.tiles
+    }
+
+    /// Per-image computing cycles of this stage under the allocation.
+    ///
+    /// Resident: all tiles operate in parallel on the streamed input, so
+    /// the stage takes `NPW` cycles. Otherwise tiles are time-multiplexed
+    /// over the granted arrays in `⌈tiles/arrays⌉` rounds of `NPW`
+    /// cycles, and each round past the first reloads every granted
+    /// array.
+    pub fn stage_cycles(&self, reprogram_cycles: u64) -> u64 {
+        let npw = self.plan.n_parallel_windows();
+        if self.is_resident() {
+            npw
+        } else {
+            let rounds = self.tiles.div_ceil(self.arrays as u64);
+            let reloads = self.tiles - self.arrays as u64;
+            rounds * npw + reloads * reprogram_cycles
+        }
+    }
+}
+
+/// A full network deployment on one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    chip: ChipConfig,
+    allocations: Vec<LayerAllocation>,
+}
+
+impl Deployment {
+    /// The chip this deployment targets.
+    pub fn chip(&self) -> ChipConfig {
+        self.chip
+    }
+
+    /// Per-layer allocations, in network order.
+    pub fn allocations(&self) -> &[LayerAllocation] {
+        &self.allocations
+    }
+
+    /// Total arrays granted (≤ chip budget).
+    pub fn arrays_used(&self) -> usize {
+        self.allocations.iter().map(LayerAllocation::arrays).sum()
+    }
+
+    /// Total weight tiles demanded by all layers.
+    pub fn tiles_demanded(&self) -> u64 {
+        self.allocations.iter().map(LayerAllocation::tiles).sum()
+    }
+
+    /// `true` when every layer has all tiles resident.
+    pub fn is_fully_resident(&self) -> bool {
+        self.allocations.iter().all(LayerAllocation::is_resident)
+    }
+
+    /// Per-image cycles of every stage.
+    pub fn stage_cycles(&self) -> Vec<u64> {
+        self.allocations
+            .iter()
+            .map(|a| a.stage_cycles(self.chip.reprogram_cycles()))
+            .collect()
+    }
+}
+
+/// Plans every layer with `algorithm` and distributes the chip's arrays.
+///
+/// Every layer receives at least one array; remaining arrays are granted
+/// greedily to the layer whose stage time improves the most (ties to the
+/// earliest layer), which minimizes the pipeline bottleneck for the given
+/// plans.
+///
+/// # Errors
+///
+/// Returns [`ChipError`] if the chip has fewer arrays than the network
+/// has layers, or planning fails.
+pub fn deploy(
+    network: &Network,
+    algorithm: MappingAlgorithm,
+    chip: &ChipConfig,
+) -> Result<Deployment> {
+    if network.is_empty() {
+        return Err(ChipError::new("cannot deploy an empty network"));
+    }
+    if chip.n_arrays() < network.len() {
+        return Err(ChipError::new(format!(
+            "chip has {} arrays but network {:?} has {} layers",
+            chip.n_arrays(),
+            network.name(),
+            network.len()
+        )));
+    }
+    let mut allocations = Vec::with_capacity(network.len());
+    for layer in network {
+        let plan = algorithm.plan(layer, chip.array())?;
+        let tiles = plan.ar_cycles() * plan.ac_cycles();
+        allocations.push(LayerAllocation {
+            plan,
+            tiles,
+            arrays: 1,
+        });
+    }
+    let mut spare = chip.n_arrays() - network.len();
+    while spare > 0 {
+        // Grant the next array where it saves the most stage time.
+        let mut best: Option<(usize, u64)> = None;
+        for (i, alloc) in allocations.iter().enumerate() {
+            if alloc.arrays as u64 >= alloc.tiles {
+                continue; // already fully resident
+            }
+            let now = alloc.stage_cycles(chip.reprogram_cycles());
+            let mut grown = alloc.clone();
+            grown.arrays += 1;
+            let then = grown.stage_cycles(chip.reprogram_cycles());
+            let saving = now.saturating_sub(then);
+            if best.is_none_or(|(_, s)| saving > s) {
+                best = Some((i, saving));
+            }
+        }
+        match best {
+            Some((i, saving)) if saving > 0 => {
+                allocations[i].arrays += 1;
+                spare -= 1;
+            }
+            _ => break, // everything resident or no improvement possible
+        }
+    }
+    Ok(Deployment {
+        chip: *chip,
+        allocations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::PimArray;
+    use pim_nets::zoo;
+
+    fn chip(n: usize) -> ChipConfig {
+        ChipConfig::new(n, PimArray::new(512, 512).unwrap(), 2_000)
+    }
+
+    #[test]
+    fn resnet_vw_fits_64_arrays_resident() {
+        // VW-SDK tiles for ResNet-18 (512x512): 1 + 2 + 4 + 7 + 9 = 23.
+        let d = deploy(&zoo::resnet18_table1(), MappingAlgorithm::VwSdk, &chip(64)).unwrap();
+        assert!(d.is_fully_resident());
+        assert_eq!(d.tiles_demanded(), 23);
+        // Resident stages run in NPW cycles.
+        let cycles = d.stage_cycles();
+        assert_eq!(cycles[0], 1_431);
+        assert_eq!(cycles[3], 72);
+    }
+
+    #[test]
+    fn starved_chip_pays_reprogramming() {
+        let d = deploy(&zoo::resnet18_table1(), MappingAlgorithm::VwSdk, &chip(5)).unwrap();
+        assert!(!d.is_fully_resident());
+        let starved: Vec<_> = d
+            .allocations()
+            .iter()
+            .filter(|a| !a.is_resident())
+            .collect();
+        assert!(!starved.is_empty());
+        for a in starved {
+            assert!(a.stage_cycles(2_000) > a.plan().n_parallel_windows());
+        }
+    }
+
+    #[test]
+    fn too_few_arrays_is_an_error() {
+        assert!(deploy(&zoo::resnet18_table1(), MappingAlgorithm::VwSdk, &chip(4)).is_err());
+        assert!(deploy(&Network::new("empty"), MappingAlgorithm::VwSdk, &chip(4)).is_err());
+    }
+
+    #[test]
+    fn allocation_never_exceeds_budget_or_need() {
+        for n in [5, 8, 16, 23, 64, 128] {
+            let d = deploy(&zoo::resnet18_table1(), MappingAlgorithm::VwSdk, &chip(n)).unwrap();
+            assert!(d.arrays_used() <= n);
+            for a in d.allocations() {
+                assert!(a.arrays() >= 1);
+                assert!((a.arrays() as u64) <= a.tiles().max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn vw_needs_fewer_tiles_than_im2col_on_vgg() {
+        let vw = deploy(&zoo::vgg13(), MappingAlgorithm::VwSdk, &chip(512)).unwrap();
+        let im2col = deploy(&zoo::vgg13(), MappingAlgorithm::Im2col, &chip(512)).unwrap();
+        // im2col tiles: sum of ceil(K^2 IC / 512): 1+2+2+3+3+5+5+9+9+9=48.
+        assert_eq!(im2col.tiles_demanded(), 48);
+        assert!(vw.tiles_demanded() != im2col.tiles_demanded());
+    }
+
+    #[test]
+    fn more_arrays_never_slow_a_stage() {
+        let small = deploy(&zoo::vgg13(), MappingAlgorithm::VwSdk, &chip(16)).unwrap();
+        let large = deploy(&zoo::vgg13(), MappingAlgorithm::VwSdk, &chip(128)).unwrap();
+        for (s, l) in small.stage_cycles().iter().zip(large.stage_cycles()) {
+            assert!(l <= *s);
+        }
+    }
+}

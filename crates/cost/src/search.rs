@@ -1,0 +1,335 @@
+//! Algorithm 1: the optimal parallel-window search.
+//!
+//! The search initializes the best cycle count with im2col's, then walks
+//! every window shape in the scan order of [`crate::window::Candidates`],
+//! keeping the **first** strict improvement — which reproduces the exact
+//! windows printed in the paper's Table I, including its tie-breaks.
+
+use crate::model::{self, Im2colCost, VwCost};
+use crate::window::{Candidates, ParallelWindow};
+use pim_arch::PimArray;
+use pim_nets::ConvLayer;
+
+/// Configuration of the window search.
+///
+/// The defaults run the paper's Algorithm 1 verbatim. The restriction
+/// flags implement the ablations called out in DESIGN.md (§4): disabling
+/// rectangles isolates the channel-tiling idea, and disabling channel
+/// tiling isolates the rectangular-window idea.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchOptions {
+    /// Only consider square windows (`PWw == PWh`).
+    pub square_only: bool,
+    /// Only consider windows that map *all* input channels at once
+    /// (`ICt ≥ IC`), i.e. forbid the paper's channel tiling.
+    pub full_channels_only: bool,
+    /// Record every feasible candidate's cost (for search-landscape
+    /// figures); costs memory proportional to the candidate count.
+    pub collect_trace: bool,
+    /// Skip provably infeasible regions of the scan (ablation A3):
+    /// once a window's area exceeds the array rows, every wider window in
+    /// the same scan row is infeasible too, and once the window height
+    /// alone makes the minimum area exceed the rows the whole search can
+    /// stop. Never changes the result — property-tested.
+    pub pruned: bool,
+}
+
+impl SearchOptions {
+    /// The paper's Algorithm 1 (no restrictions, no trace).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Algorithm 1 with the infeasibility pruning enabled.
+    pub fn pruned() -> Self {
+        Self {
+            pruned: true,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation A1: rectangular windows allowed, channel tiling forbidden.
+    pub fn no_channel_tiling() -> Self {
+        Self {
+            full_channels_only: true,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation A2: square windows only, channel tiling allowed.
+    pub fn square_windows_only() -> Self {
+        Self {
+            square_only: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of the Algorithm 1 search for one layer/array pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    im2col: Im2colCost,
+    best: Option<VwCost>,
+    evaluated: usize,
+    feasible: usize,
+    trace: Vec<VwCost>,
+}
+
+impl SearchResult {
+    /// The im2col initialization cost (`CC_im2col`).
+    pub fn im2col(&self) -> Im2colCost {
+        self.im2col
+    }
+
+    /// The winning non-degenerate window's cost, or `None` when no window
+    /// strictly beat im2col (the algorithm then reports the kernel-sized
+    /// window, as Table I does for the late VGG-13/ResNet layers).
+    pub fn best(&self) -> Option<&VwCost> {
+        self.best.as_ref()
+    }
+
+    /// Minimum computing cycles found (`CC_min`).
+    pub fn best_cycles(&self) -> u64 {
+        self.best.map_or(self.im2col.cycles, |b| b.cycles)
+    }
+
+    /// The optimal window, or `None` when im2col won.
+    pub fn best_window(&self) -> Option<ParallelWindow> {
+        self.best.map(|b| b.window)
+    }
+
+    /// The window to report for a layer: the optimal one, or the
+    /// kernel-sized window when im2col won (Table I's convention).
+    pub fn reported_window(&self, layer: &ConvLayer) -> ParallelWindow {
+        self.best_window()
+            .unwrap_or_else(|| ParallelWindow::kernel_sized(layer))
+    }
+
+    /// Tiled input channels to report: the winner's `ICt`, or the full
+    /// `IC` when im2col won.
+    pub fn reported_tiled_ic(&self, layer: &ConvLayer) -> usize {
+        self.best
+            .map_or(layer.in_channels_per_group(), |b| b.tiled_ic)
+    }
+
+    /// Tiled output channels to report: the winner's `OCt`, or the full
+    /// `OC` when im2col won.
+    pub fn reported_tiled_oc(&self, layer: &ConvLayer) -> usize {
+        self.best
+            .map_or(layer.out_channels_per_group(), |b| b.tiled_oc)
+    }
+
+    /// Number of candidate windows enumerated.
+    pub fn evaluated(&self) -> usize {
+        self.evaluated
+    }
+
+    /// Number of candidates that were feasible on the given array.
+    pub fn feasible(&self) -> usize {
+        self.feasible
+    }
+
+    /// Per-candidate costs (empty unless
+    /// [`SearchOptions::collect_trace`] was set).
+    pub fn trace(&self) -> &[VwCost] {
+        &self.trace
+    }
+}
+
+/// Runs Algorithm 1 with default options.
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::PimArray;
+/// use pim_cost::search::optimal_window;
+/// use pim_nets::ConvLayer;
+///
+/// // VGG-13 layer 1: the paper reports a 10x3 window at 6216 cycles.
+/// let layer = ConvLayer::square("conv1", 224, 3, 3, 64)?;
+/// let result = optimal_window(&layer, PimArray::new(512, 512)?);
+/// assert_eq!(result.best_window().unwrap().to_string(), "10x3");
+/// assert_eq!(result.best_cycles(), 6216);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimal_window(layer: &ConvLayer, array: PimArray) -> SearchResult {
+    optimal_window_with(layer, array, SearchOptions::paper())
+}
+
+/// Runs Algorithm 1 with explicit [`SearchOptions`].
+pub fn optimal_window_with(
+    layer: &ConvLayer,
+    array: PimArray,
+    options: SearchOptions,
+) -> SearchResult {
+    let im2col = model::im2col_cost(layer, array);
+    let mut best: Option<VwCost> = None;
+    let mut best_cycles = im2col.cycles;
+    let mut evaluated = 0;
+    let mut feasible = 0;
+    let mut trace = Vec::new();
+
+    let padded_w = layer.input_w() + 2 * layer.padding();
+    let padded_h = layer.input_h() + 2 * layer.padding();
+    let mut skip_row_above_width = usize::MAX;
+    let eff_kw = layer.effective_kernel_w();
+    let eff_kh = layer.effective_kernel_h();
+    for candidate in Candidates::new(eff_kw, eff_kh, padded_w, padded_h) {
+        if options.pruned {
+            // Entering a new scan row resets the row-local width cutoff.
+            if candidate.width() <= eff_kw + 1 {
+                skip_row_above_width = usize::MAX;
+                // Stop completely once even the narrowest window of this
+                // height exceeds the array rows.
+                if eff_kw * candidate.height() > array.rows() {
+                    break;
+                }
+            }
+            if candidate.width() > skip_row_above_width {
+                continue;
+            }
+            if candidate.area() > array.rows() {
+                // Wider windows at this height only grow the area.
+                skip_row_above_width = candidate.width();
+                continue;
+            }
+        }
+        evaluated += 1;
+        if options.square_only && !candidate.is_square() {
+            continue;
+        }
+        let Some(cost) = model::vw_cost(layer, array, candidate) else {
+            continue;
+        };
+        if options.full_channels_only && cost.tiled_ic < layer.in_channels_per_group() {
+            continue;
+        }
+        feasible += 1;
+        if options.collect_trace {
+            trace.push(cost);
+        }
+        // Strict improvement only: first optimum in scan order wins,
+        // matching Algorithm 1's `CC_min > CC_vw` update.
+        if cost.cycles < best_cycles {
+            best_cycles = cost.cycles;
+            best = Some(cost);
+        }
+    }
+
+    SearchResult {
+        im2col,
+        best,
+        evaluated,
+        feasible,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(input: usize, kernel: usize, ic: usize, oc: usize) -> ConvLayer {
+        ConvLayer::square("t", input, kernel, ic, oc).unwrap()
+    }
+
+    fn arr(r: usize, c: usize) -> PimArray {
+        PimArray::new(r, c).unwrap()
+    }
+
+    #[test]
+    fn vgg13_layer1_finds_10x3() {
+        let r = optimal_window(&layer(224, 3, 3, 64), arr(512, 512));
+        assert_eq!(r.best_window().unwrap().to_string(), "10x3");
+        assert_eq!(r.best_cycles(), 6216);
+    }
+
+    #[test]
+    fn vgg13_layer2_tie_break_keeps_4x4() {
+        // 5x4 ties 4x4 at 24642 cycles; scan order must keep 4x4.
+        let r = optimal_window(&layer(224, 3, 64, 64), arr(512, 512));
+        assert_eq!(r.best_window().unwrap().to_string(), "4x4");
+        assert_eq!(r.best_cycles(), 24_642);
+        assert_eq!(r.best().unwrap().tiled_ic, 32);
+    }
+
+    #[test]
+    fn resnet_stem_finds_10x8() {
+        let r = optimal_window(&layer(112, 7, 3, 64), arr(512, 512));
+        assert_eq!(r.best_window().unwrap().to_string(), "10x8");
+        assert_eq!(r.best_cycles(), 1431);
+    }
+
+    #[test]
+    fn deep_layers_fall_back_to_im2col() {
+        // VGG-13 layer 7 (28x28, 3x3x256x512): Table I keeps 3x3.
+        let l = layer(28, 3, 256, 512);
+        let r = optimal_window(&l, arr(512, 512));
+        assert!(r.best().is_none());
+        assert_eq!(r.best_cycles(), 3380);
+        assert_eq!(r.reported_window(&l).to_string(), "3x3");
+        assert_eq!(r.reported_tiled_ic(&l), 256);
+        assert_eq!(r.reported_tiled_oc(&l), 512);
+    }
+
+    #[test]
+    fn search_never_returns_worse_than_im2col() {
+        for (i, k, ic, oc) in [(14, 3, 512, 512), (28, 5, 64, 96), (7, 7, 512, 64)] {
+            let l = layer(i, k, ic, oc);
+            for a in [arr(128, 128), arr(512, 256), arr(512, 512)] {
+                let r = optimal_window(&l, a);
+                assert!(r.best_cycles() <= r.im2col().cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn square_only_restriction_is_enforced() {
+        let l = layer(56, 3, 128, 256);
+        let r = optimal_window_with(&l, arr(512, 512), SearchOptions::square_windows_only());
+        if let Some(w) = r.best_window() {
+            assert!(w.is_square());
+        }
+        // Unrestricted search (which finds rectangular 4x3) must be at
+        // least as good.
+        let free = optimal_window(&l, arr(512, 512));
+        assert!(free.best_cycles() <= r.best_cycles());
+        assert_eq!(free.best_window().unwrap().to_string(), "4x3");
+    }
+
+    #[test]
+    fn full_channels_restriction_is_enforced() {
+        let l = layer(56, 3, 128, 256);
+        let r = optimal_window_with(&l, arr(512, 512), SearchOptions::no_channel_tiling());
+        if let Some(best) = r.best() {
+            assert!(best.tiled_ic >= 128);
+        }
+        let free = optimal_window(&l, arr(512, 512));
+        assert!(free.best_cycles() <= r.best_cycles());
+    }
+
+    #[test]
+    fn trace_collects_all_feasible_candidates() {
+        let l = layer(14, 3, 256, 256);
+        let opts = SearchOptions {
+            collect_trace: true,
+            ..SearchOptions::paper()
+        };
+        let r = optimal_window_with(&l, arr(512, 512), opts);
+        assert_eq!(r.trace().len(), r.feasible());
+        assert!(r.feasible() <= r.evaluated());
+        assert_eq!(r.evaluated(), 12 * 12 - 1);
+        // The trace contains the winner.
+        let best = r.best().unwrap();
+        assert!(r.trace().iter().any(|c| c == best));
+    }
+
+    #[test]
+    fn small_array_forces_im2col_everywhere() {
+        // 8 rows cannot hold any 3x3-or-larger window with channels.
+        let l = layer(14, 3, 64, 64);
+        let r = optimal_window(&l, arr(8, 8));
+        assert!(r.best().is_none());
+        assert_eq!(r.best_cycles(), r.im2col().cycles);
+    }
+}

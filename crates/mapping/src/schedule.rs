@@ -1,0 +1,208 @@
+//! Parallel-window positions and the computing-cycle enumeration.
+//!
+//! A plan executes as a triple loop: for every (AR tile, AC tile) pair the
+//! array is programmed once, then every parallel-window position is driven
+//! through it — one analog MVM per position, i.e. one *computing cycle*.
+//! This module enumerates those positions and cycles in a deterministic
+//! order so the simulator, the cycle counter and the paper's eq. (8) all
+//! agree.
+
+use crate::plan::MappingPlan;
+use pim_cost::model::windows_per_pw_axis;
+
+/// One placement of the parallel window over the (padded) input.
+///
+/// `origin_*` are top-left coordinates in the padded input frame (pixels);
+/// `first_win_*` are the indices of the first kernel window the placement
+/// covers along each axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PwPosition {
+    /// Top-left x of the window patch, padded coordinates.
+    pub origin_x: usize,
+    /// Top-left y of the window patch, padded coordinates.
+    pub origin_y: usize,
+    /// Global index of the first kernel window covered, x axis.
+    pub first_win_x: usize,
+    /// Global index of the first kernel window covered, y axis.
+    pub first_win_y: usize,
+}
+
+/// Enumerates the parallel-window positions of a plan, row-major.
+///
+/// The tiling steps by `windows-per-PW` kernel windows; the final position
+/// on each axis is clamped so the window stays inside the input, which
+/// recomputes a few windows at the edge (their values are identical, so
+/// the simulator may write them twice). The number of positions equals
+/// [`MappingPlan::n_parallel_windows`] for all windowed algorithms.
+pub fn pw_positions(plan: &MappingPlan) -> Vec<PwPosition> {
+    let layer = plan.layer();
+    let stride = layer.stride();
+    let (wpp_x, wpp_y) = windows_per_pw(plan);
+    let (oh, ow) = layer.output_dims();
+    let steps_x = (ow as u64).div_ceil(wpp_x as u64) as usize;
+    let steps_y = (oh as u64).div_ceil(wpp_y as u64) as usize;
+    let mut positions = Vec::with_capacity(steps_x * steps_y);
+    for jy in 0..steps_y {
+        let first_win_y = (jy * wpp_y).min(oh - wpp_y);
+        for jx in 0..steps_x {
+            let first_win_x = (jx * wpp_x).min(ow - wpp_x);
+            positions.push(PwPosition {
+                origin_x: first_win_x * stride,
+                origin_y: first_win_y * stride,
+                first_win_x,
+                first_win_y,
+            });
+        }
+    }
+    positions
+}
+
+/// Kernel windows per parallel window along (x, y) for a plan.
+///
+/// Kernel-grid plans (im2col and the degenerate fallbacks, whose window
+/// is the *raw* kernel even for dilated layers) cover exactly one window
+/// per position; all other plans derive the counts from the effective
+/// kernel extent.
+pub fn windows_per_pw(plan: &MappingPlan) -> (usize, usize) {
+    if plan.windows_in_pw() == 1 {
+        return (1, 1);
+    }
+    let layer = plan.layer();
+    let pw = plan.window();
+    (
+        windows_per_pw_axis(pw.width(), layer.effective_kernel_w(), layer.stride()),
+        windows_per_pw_axis(pw.height(), layer.effective_kernel_h(), layer.stride()),
+    )
+}
+
+/// One computing cycle: program tile `(ar, ac)`, drive position
+/// `position`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CycleRef {
+    /// AR tile index.
+    pub ar: u64,
+    /// AC tile index.
+    pub ac: u64,
+    /// Index into [`pw_positions`].
+    pub position: usize,
+}
+
+/// Enumerates every computing cycle of a plan in execution order:
+/// weights stay programmed while all positions stream through
+/// (weight-stationary inner loop).
+pub fn cycles(plan: &MappingPlan) -> impl Iterator<Item = CycleRef> + '_ {
+    let n_positions = plan.n_parallel_windows() as usize;
+    let ar = plan.ar_cycles();
+    let ac = plan.ac_cycles();
+    (0..ar).flat_map(move |t| {
+        (0..ac).flat_map(move |u| {
+            (0..n_positions).map(move |p| CycleRef {
+                ar: t,
+                ac: u,
+                position: p,
+            })
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MappingAlgorithm;
+    use pim_arch::PimArray;
+    use pim_nets::ConvLayer;
+
+    fn layer(input: usize, kernel: usize, ic: usize, oc: usize) -> ConvLayer {
+        ConvLayer::square("t", input, kernel, ic, oc).unwrap()
+    }
+
+    fn arr(r: usize, c: usize) -> PimArray {
+        PimArray::new(r, c).unwrap()
+    }
+
+    #[test]
+    fn position_count_matches_plan() {
+        for alg in [MappingAlgorithm::Im2col, MappingAlgorithm::VwSdk, MappingAlgorithm::Sdk] {
+            let p = alg.plan(&layer(14, 3, 8, 8), arr(128, 128)).unwrap();
+            assert_eq!(
+                pw_positions(&p).len() as u64,
+                p.n_parallel_windows(),
+                "{alg}"
+            );
+        }
+    }
+
+    #[test]
+    fn positions_cover_every_window_exactly() {
+        let p = MappingAlgorithm::VwSdk
+            .plan(&layer(14, 3, 8, 8), arr(128, 128))
+            .unwrap();
+        let wpp_x = windows_per_pw_axis(p.window().width(), 3, 1);
+        let wpp_y = windows_per_pw_axis(p.window().height(), 3, 1);
+        let (oh, ow) = p.layer().output_dims();
+        let mut covered = vec![vec![false; ow]; oh];
+        for pos in pw_positions(&p) {
+            for wy in 0..wpp_y {
+                for wx in 0..wpp_x {
+                    covered[pos.first_win_y + wy][pos.first_win_x + wx] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|row| row.iter().all(|&c| c)));
+    }
+
+    #[test]
+    fn last_position_is_clamped_inside_input() {
+        let p = MappingAlgorithm::VwSdk
+            .plan(&layer(14, 3, 256, 256), arr(512, 512))
+            .unwrap();
+        let layer = p.layer();
+        for pos in pw_positions(&p) {
+            assert!(pos.origin_x + p.window().width() <= layer.input_w());
+            assert!(pos.origin_y + p.window().height() <= layer.input_h());
+        }
+    }
+
+    #[test]
+    fn cycle_enumeration_matches_plan_cycles() {
+        for alg in MappingAlgorithm::paper_trio() {
+            let p = alg.plan(&layer(12, 3, 40, 24), arr(64, 48)).unwrap();
+            assert_eq!(cycles(&p).count() as u64, p.cycles(), "{alg}");
+        }
+    }
+
+    #[test]
+    fn cycles_are_weight_stationary() {
+        let p = MappingAlgorithm::Im2col
+            .plan(&layer(6, 3, 16, 4), arr(32, 32))
+            .unwrap();
+        let all: Vec<CycleRef> = cycles(&p).collect();
+        // Tile changes only after all positions have streamed through.
+        let n = p.n_parallel_windows() as usize;
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.position, i % n);
+            assert_eq!(c.ar as usize, i / (n * p.ac_cycles() as usize));
+        }
+    }
+
+    #[test]
+    fn strided_positions_align_with_stride() {
+        let l = ConvLayer::builder("s")
+            .input(9, 9)
+            .kernel(3, 3)
+            .channels(2, 2)
+            .stride(2)
+            .build()
+            .unwrap();
+        let p = crate::plan::plan_with_window(
+            &l,
+            arr(64, 64),
+            pim_cost::window::ParallelWindow::new(5, 5).unwrap(),
+        )
+        .unwrap();
+        for pos in pw_positions(&p) {
+            assert_eq!(pos.origin_x % 2, 0);
+            assert_eq!(pos.origin_y % 2, 0);
+        }
+    }
+}

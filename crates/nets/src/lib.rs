@@ -1,0 +1,63 @@
+//! CNN layer-shape descriptors and the model zoo of the VW-SDK evaluation.
+//!
+//! The mapping problem that VW-SDK solves is purely geometric: it needs the
+//! input feature-map size, kernel size and channel counts of each
+//! convolutional layer — never the weights. This crate provides:
+//!
+//! * [`ConvLayer`] — a validated shape descriptor with stride/padding/groups
+//!   generalizations (the paper itself assumes unit stride and no padding);
+//! * [`Network`] — an ordered, named collection of layers;
+//! * [`zoo`] — the networks evaluated by the paper (VGG-13 and ResNet-18
+//!   exactly as listed in Table I) plus additional nets for extension
+//!   studies (VGG-16, AlexNet, LeNet-5, a MobileNet-style depthwise stack).
+//!
+//! # Example
+//!
+//! ```
+//! use pim_nets::{zoo, ConvLayer};
+//!
+//! let vgg = zoo::vgg13();
+//! assert_eq!(vgg.len(), 10);
+//! let l1: &ConvLayer = &vgg.layers()[0];
+//! assert_eq!((l1.input_w(), l1.kernel_w(), l1.in_channels(), l1.out_channels()),
+//!            (224, 3, 3, 64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+mod network;
+pub mod zoo;
+
+pub use layer::{ConvLayer, ConvLayerBuilder};
+pub use network::Network;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised for invalid layer or network descriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetError {
+    message: String,
+}
+
+impl NetError {
+    /// Creates a network-description error.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid network description: {}", self.message)
+    }
+}
+
+impl Error for NetError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,214 @@
+//! Ordered collections of convolutional layers.
+
+use crate::{ConvLayer, NetError, Result};
+use std::fmt;
+
+/// A named, ordered list of convolutional layers.
+///
+/// Only convolutional layers participate in crossbar weight mapping;
+/// pooling/activation/fully-connected layers of the original models are
+/// intentionally absent, exactly as in the paper's Table I.
+///
+/// # Example
+///
+/// ```
+/// use pim_nets::{ConvLayer, Network};
+///
+/// let mut net = Network::new("toy");
+/// net.push(ConvLayer::square("c1", 28, 3, 1, 8)?);
+/// net.push(ConvLayer::square("c2", 26, 3, 8, 16)?);
+/// assert_eq!(net.len(), 2);
+/// assert_eq!(net.total_macs(), net.layers().iter().map(|l| l.n_macs()).sum());
+/// # Ok::<(), pim_nets::NetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    name: String,
+    layers: Vec<ConvLayer>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Creates a network from a layer list.
+    pub fn from_layers(name: impl Into<String>, layers: Vec<ConvLayer>) -> Self {
+        Self {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: ConvLayer) {
+        self.layers.push(layer);
+    }
+
+    /// The layers, in inference order.
+    pub fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over the layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, ConvLayer> {
+        self.layers.iter()
+    }
+
+    /// Finds a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&ConvLayer> {
+        self.layers.iter().find(|l| l.name() == name)
+    }
+
+    /// Total weight parameters across all layers.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::n_params).sum()
+    }
+
+    /// Total multiply-accumulates for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::n_macs).sum()
+    }
+
+    /// `true` when every layer satisfies the paper's assumptions
+    /// (unit stride, no padding, dense channels).
+    pub fn is_paper_form(&self) -> bool {
+        self.layers.iter().all(ConvLayer::is_paper_form)
+    }
+
+    /// Checks that consecutive layers are dimensionally chainable:
+    /// layer `i+1`'s input channels equal layer `i`'s output channels.
+    ///
+    /// Spatial sizes are *not* checked because the original models insert
+    /// pooling between conv layers. Networks assembled from Table I rows
+    /// (which skip pooling) still chain on channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] naming the first mismatched pair.
+    pub fn check_channel_chain(&self) -> Result<()> {
+        for pair in self.layers.windows(2) {
+            if pair[0].out_channels() != pair[1].in_channels() {
+                return Err(NetError::new(format!(
+                    "layer {:?} outputs {} channels but {:?} expects {}",
+                    pair[0].name(),
+                    pair[0].out_channels(),
+                    pair[1].name(),
+                    pair[1].in_channels()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} conv layers)", self.name, self.layers.len())?;
+        for layer in &self.layers {
+            writeln!(f, "  {layer}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Network {
+    type Item = &'a ConvLayer;
+    type IntoIter = std::slice::Iter<'a, ConvLayer>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.layers.iter()
+    }
+}
+
+impl Extend<ConvLayer> for Network {
+    fn extend<T: IntoIterator<Item = ConvLayer>>(&mut self, iter: T) {
+        self.layers.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(name: &str, input: usize, ic: usize, oc: usize) -> ConvLayer {
+        ConvLayer::square(name, input, 3, ic, oc).unwrap()
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut net = Network::new("n");
+        net.push(layer("a", 8, 1, 4));
+        net.push(layer("b", 6, 4, 8));
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+        assert_eq!(net.layer("b").unwrap().out_channels(), 8);
+        assert!(net.layer("missing").is_none());
+    }
+
+    #[test]
+    fn totals_sum_over_layers() {
+        let mut net = Network::new("n");
+        net.push(layer("a", 8, 1, 4));
+        net.push(layer("b", 6, 4, 8));
+        assert_eq!(net.total_params(), 9 * 4 + 9 * 4 * 8);
+        assert_eq!(net.total_macs(), 36 * 9 * 4 + 16 * 9 * 4 * 8);
+    }
+
+    #[test]
+    fn channel_chain_detects_breaks() {
+        let mut net = Network::new("n");
+        net.push(layer("a", 8, 1, 4));
+        net.push(layer("b", 6, 4, 8));
+        assert!(net.check_channel_chain().is_ok());
+        net.push(layer("c", 4, 5, 8));
+        let err = net.check_channel_chain().unwrap_err();
+        assert!(err.to_string().contains("\"b\""));
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let mut net = Network::new("n");
+        net.push(layer("a", 8, 1, 4));
+        net.push(layer("b", 6, 4, 8));
+        let names: Vec<&str> = net.iter().map(|l| l.name()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        let borrowed: Vec<&str> = (&net).into_iter().map(|l| l.name()).collect();
+        assert_eq!(borrowed, names);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut net = Network::new("n");
+        net.extend([layer("a", 8, 1, 4), layer("b", 6, 4, 8)]);
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let mut net = Network::new("toy");
+        net.push(layer("a", 8, 1, 4));
+        let text = net.to_string();
+        assert!(text.contains("toy (1 conv layers)"));
+        assert!(text.contains("a: 8x8 3x3x1x4"));
+    }
+}

@@ -1,0 +1,179 @@
+//! ASCII bar charts for figure-style experiment output.
+
+use crate::fmt_f64;
+
+/// A horizontal ASCII bar chart: one labelled bar per entry.
+///
+/// # Example
+///
+/// ```
+/// use pim_report::chart::BarChart;
+///
+/// let mut c = BarChart::new("speedup vs im2col");
+/// c.add("SDK", 2.77);
+/// c.add("VW-SDK", 4.67);
+/// let s = c.render(40);
+/// assert!(s.contains("VW-SDK"));
+/// assert!(s.contains("#"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarChart {
+    title: String,
+    entries: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates an empty chart with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one labelled bar.
+    pub fn add(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.entries.push((label.into(), value));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders with bars scaled so the maximum value spans `width`
+    /// characters.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = format!("{}\n", self.title);
+        let label_w = self.entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max = self
+            .entries
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        for (label, value) in &self.entries {
+            let bar_len = ((value / max) * width as f64).round().max(0.0) as usize;
+            out.push_str(&format!(
+                "  {label:<label_w$} |{} {}\n",
+                "#".repeat(bar_len),
+                fmt_f64(*value, 2)
+            ));
+        }
+        out
+    }
+}
+
+/// A grouped bar chart: one row per category, one value per series — the
+/// shape of the paper's Fig. 8 and Fig. 9 panels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedBarChart {
+    title: String,
+    series: Vec<String>,
+    groups: Vec<(String, Vec<f64>)>,
+}
+
+impl GroupedBarChart {
+    /// Creates a chart with the given series names (e.g. the algorithms).
+    pub fn new<S: AsRef<str>>(title: impl Into<String>, series: &[S]) -> Self {
+        Self {
+            title: title.into(),
+            series: series.iter().map(|s| s.as_ref().to_string()).collect(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Appends one category (e.g. a layer) with one value per series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the series count.
+    pub fn add_group(&mut self, label: impl Into<String>, values: &[f64]) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "group must provide one value per series"
+        );
+        self.groups.push((label.into(), values.to_vec()));
+        self
+    }
+
+    /// Renders all groups, bars scaled to the global maximum.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = format!("{}\n", self.title);
+        let label_w = self
+            .groups
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(self.series.iter().map(String::len))
+            .max()
+            .unwrap_or(0);
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        for (label, values) in &self.groups {
+            out.push_str(&format!("{label}\n"));
+            for (name, value) in self.series.iter().zip(values) {
+                let bar_len = ((value / max) * width as f64).round().max(0.0) as usize;
+                out.push_str(&format!(
+                    "  {name:<label_w$} |{} {}\n",
+                    "#".repeat(bar_len),
+                    fmt_f64(*value, 2)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let mut c = BarChart::new("t");
+        c.add("half", 1.0);
+        c.add("full", 2.0);
+        let s = c.render(10);
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.chars().filter(|&ch| ch == '#').count();
+        assert_eq!(count(lines[1]), 5);
+        assert_eq!(count(lines[2]), 10);
+    }
+
+    #[test]
+    fn empty_chart_renders_title_only() {
+        let c = BarChart::new("nothing");
+        assert_eq!(c.render(10), "nothing\n");
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn grouped_chart_lists_all_series_per_group() {
+        let mut g = GroupedBarChart::new("fig", &["im2col", "VW-SDK"]);
+        g.add_group("layer1", &[1.0, 7.9]);
+        g.add_group("layer2", &[1.0, 4.0]);
+        let s = g.render(20);
+        assert_eq!(s.matches("im2col").count(), 2);
+        assert_eq!(s.matches("VW-SDK").count(), 2);
+        assert!(s.contains("7.90"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per series")]
+    fn grouped_chart_validates_value_count() {
+        let mut g = GroupedBarChart::new("fig", &["a", "b"]);
+        g.add_group("x", &[1.0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! The programmable crossbar state.
+
+use crate::{Result, SimError};
+use pim_mapping::layout::CellAssignment;
+use pim_tensor::{Scalar, Tensor2, Tensor4};
+
+/// One crossbar array holding programmed weights.
+///
+/// The convention throughout the project: rows are inputs, columns are
+/// outputs, and one [`Crossbar::mvm`] — the per-column accumulation of
+/// `input × conductance` — is one computing cycle.
+///
+/// # Example
+///
+/// ```
+/// use pim_sim::Crossbar;
+///
+/// let mut xbar: Crossbar<i64> = Crossbar::new(2, 2);
+/// xbar.program_cell(0, 0, 3);
+/// xbar.program_cell(1, 1, 5);
+/// assert_eq!(xbar.mvm(&[10, 100]).unwrap(), vec![30, 500]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crossbar<T> {
+    cells: Tensor2<T>,
+    programmed: usize,
+}
+
+impl<T: Scalar> Crossbar<T> {
+    /// Creates an erased (all-zero) crossbar of the given geometry.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            cells: Tensor2::zeros(rows, cols),
+            programmed: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.cells.rows()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cells.cols()
+    }
+
+    /// Number of `program_cell` writes since the last erase.
+    pub fn programmed_cells(&self) -> usize {
+        self.programmed
+    }
+
+    /// Writes one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn program_cell(&mut self, row: usize, col: usize, weight: T) {
+        self.cells.set(row, col, weight);
+        self.programmed += 1;
+    }
+
+    /// Programs a tile layout's cells, fetching weight values from the
+    /// weight bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if any assignment exceeds the crossbar or the
+    /// weight bank dimensions.
+    pub fn program_layout(&mut self, cells: &[CellAssignment], weights: &Tensor4<T>) -> Result<()> {
+        let (oc, ic, kh, kw) = weights.dims();
+        for cell in cells {
+            if cell.row >= self.rows() || cell.col >= self.cols() {
+                return Err(SimError::new(format!(
+                    "cell ({}, {}) outside {}x{} crossbar",
+                    cell.row,
+                    cell.col,
+                    self.rows(),
+                    self.cols()
+                )));
+            }
+            let w = cell.weight;
+            if w.oc >= oc || w.ic >= ic || w.ky >= kh || w.kx >= kw {
+                return Err(SimError::new(format!(
+                    "weight coordinate ({}, {}, {}, {}) outside {}x{}x{}x{} bank",
+                    w.oc, w.ic, w.ky, w.kx, oc, ic, kh, kw
+                )));
+            }
+            self.program_cell(cell.row, cell.col, weights.get(w.oc, w.ic, w.ky, w.kx));
+        }
+        Ok(())
+    }
+
+    /// Erases all cells to zero.
+    pub fn erase(&mut self) {
+        self.cells = Tensor2::zeros(self.rows(), self.cols());
+        self.programmed = 0;
+    }
+
+    /// One analog matrix-vector multiply: drives `input` into the rows and
+    /// returns the per-column accumulations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if `input.len() != rows`.
+    pub fn mvm(&self, input: &[T]) -> Result<Vec<T>> {
+        pim_tensor::matmul::column_mvm(&self.cells, input).map_err(SimError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_mapping::layout::{CellAssignment, WeightCoord};
+    use pim_tensor::gen;
+
+    #[test]
+    fn erase_clears_state() {
+        let mut x: Crossbar<i32> = Crossbar::new(2, 2);
+        x.program_cell(1, 1, 7);
+        assert_eq!(x.programmed_cells(), 1);
+        x.erase();
+        assert_eq!(x.programmed_cells(), 0);
+        assert_eq!(x.mvm(&[1, 1]).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn mvm_rejects_wrong_input_length() {
+        let x: Crossbar<i32> = Crossbar::new(3, 2);
+        assert!(x.mvm(&[1, 2]).is_err());
+        assert!(x.mvm(&[1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn program_layout_reads_weight_bank() {
+        let weights = gen::ramp4::<i64>(2, 1, 2, 2);
+        let mut x: Crossbar<i64> = Crossbar::new(4, 2);
+        let cells = vec![
+            CellAssignment { row: 0, col: 0, weight: WeightCoord { oc: 0, ic: 0, ky: 0, kx: 0 } },
+            CellAssignment { row: 3, col: 1, weight: WeightCoord { oc: 1, ic: 0, ky: 1, kx: 1 } },
+        ];
+        x.program_layout(&cells, &weights).unwrap();
+        let y = x.mvm(&[1, 0, 0, 1]).unwrap();
+        assert_eq!(y, vec![weights.get(0, 0, 0, 0), weights.get(1, 0, 1, 1)]);
+    }
+
+    #[test]
+    fn program_layout_validates_bounds() {
+        let weights = gen::ramp4::<i64>(1, 1, 2, 2);
+        let mut x: Crossbar<i64> = Crossbar::new(2, 2);
+        let oob_cell = vec![CellAssignment {
+            row: 2,
+            col: 0,
+            weight: WeightCoord { oc: 0, ic: 0, ky: 0, kx: 0 },
+        }];
+        assert!(x.program_layout(&oob_cell, &weights).is_err());
+        let oob_weight = vec![CellAssignment {
+            row: 0,
+            col: 0,
+            weight: WeightCoord { oc: 1, ic: 0, ky: 0, kx: 0 },
+        }];
+        assert!(x.program_layout(&oob_weight, &weights).is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! The execution engine: runs a mapping plan on real tensors.
+
+use crate::crossbar::Crossbar;
+use crate::metrics::RunStats;
+use crate::{Result, SimError};
+use pim_arch::energy::EnergyModel;
+use pim_mapping::layout::{SmdLayout, TileLayout};
+use pim_mapping::schedule::pw_positions;
+use pim_mapping::{MappingAlgorithm, MappingPlan};
+use pim_nets::ConvLayer;
+use pim_tensor::{Conv2dParams, Scalar, Tensor3, Tensor4};
+
+/// Converts a layer's hyper-parameters into the reference-convolution
+/// parameter block (used to cross-check engine output).
+pub fn layer_params(layer: &ConvLayer) -> Conv2dParams {
+    Conv2dParams {
+        stride_h: layer.stride(),
+        stride_w: layer.stride(),
+        pad_h: layer.padding(),
+        pad_w: layer.padding(),
+        dilation_h: layer.dilation(),
+        dilation_w: layer.dilation(),
+    }
+}
+
+/// The result of simulating one layer: the output feature map plus
+/// execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRun<T> {
+    ofm: Tensor3<T>,
+    stats: RunStats,
+}
+
+impl<T> SimRun<T> {
+    /// The computed output feature map (`OC × OH × OW`).
+    pub fn ofm(&self) -> &Tensor3<T> {
+        &self.ofm
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Consumes the run, returning the output feature map.
+    pub fn into_ofm(self) -> Tensor3<T> {
+        self.ofm
+    }
+}
+
+/// The crossbar execution engine.
+///
+/// Stateless between runs apart from its [`EnergyModel`]; see the crate
+/// docs for a full example.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Engine {
+    energy: EnergyModel,
+}
+
+impl Engine {
+    /// Engine with the default (ISAAC-like) energy model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with an explicit energy model.
+    pub fn with_energy_model(energy: EnergyModel) -> Self {
+        Self { energy }
+    }
+
+    /// Executes `plan` on the given input feature map and weight bank.
+    ///
+    /// The number of analog MVMs performed equals the plan's predicted
+    /// [`MappingPlan::cycles`] (asserted by the test suite), and the
+    /// output equals the reference convolution — exactly, for integer
+    /// scalars.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if tensor dimensions disagree with the
+    /// layer, or the plan's layer is grouped (no cell-level layout).
+    pub fn run<T: Scalar>(
+        &self,
+        plan: &MappingPlan,
+        ifm: &Tensor3<T>,
+        weights: &Tensor4<T>,
+    ) -> Result<SimRun<T>> {
+        plan.check_layout_supported()?;
+        let layer = plan.layer();
+        if ifm.dims() != (layer.in_channels(), layer.input_h(), layer.input_w()) {
+            return Err(SimError::new(format!(
+                "input {:?} does not match layer {:?}",
+                ifm.dims(),
+                (layer.in_channels(), layer.input_h(), layer.input_w())
+            )));
+        }
+        if weights.dims()
+            != (
+                layer.out_channels(),
+                layer.in_channels(),
+                layer.kernel_h(),
+                layer.kernel_w(),
+            )
+        {
+            return Err(SimError::new(format!(
+                "weights {:?} do not match layer kernel {:?}",
+                weights.dims(),
+                (
+                    layer.out_channels(),
+                    layer.in_channels(),
+                    layer.kernel_h(),
+                    layer.kernel_w()
+                )
+            )));
+        }
+        if plan.algorithm() == MappingAlgorithm::Smd && plan.duplication() > 1 {
+            self.run_smd(plan, ifm, weights)
+        } else {
+            self.run_windowed(plan, ifm, weights)
+        }
+    }
+
+    fn run_windowed<T: Scalar>(
+        &self,
+        plan: &MappingPlan,
+        ifm: &Tensor3<T>,
+        weights: &Tensor4<T>,
+    ) -> Result<SimRun<T>> {
+        let layer = plan.layer();
+        let (oh, ow) = layer.output_dims();
+        let pad = layer.padding() as isize;
+        let mut out = Tensor3::zeros(layer.out_channels(), oh, ow);
+        let mut stats = RunStats::new();
+
+        let positions = pw_positions(plan);
+        // Clamped edge positions re-cover some windows; give each window a
+        // unique owning position so partial sums accumulate exactly once.
+        let (wpp_x, wpp_y) = pim_mapping::schedule::windows_per_pw(plan);
+        let mut owner = vec![usize::MAX; oh * ow];
+        for (pidx, pos) in positions.iter().enumerate() {
+            for wy in 0..wpp_y {
+                for wx in 0..wpp_x {
+                    let slot = &mut owner[(pos.first_win_y + wy) * ow + pos.first_win_x + wx];
+                    if *slot == usize::MAX {
+                        *slot = pidx;
+                    }
+                }
+            }
+        }
+
+        let mut input = Vec::new();
+        for t in 0..plan.ar_cycles() {
+            for u in 0..plan.ac_cycles() {
+                let layout = TileLayout::build(plan, t, u)?;
+                let mut xbar = Crossbar::new(layout.rows_used(), layout.cols_used());
+                xbar.program_layout(layout.cells(), weights)?;
+                stats.record_programming();
+                for (pidx, pos) in positions.iter().enumerate() {
+                    input.clear();
+                    for src in layout.row_sources() {
+                        let iy = pos.origin_y as isize + src.dy as isize - pad;
+                        let ix = pos.origin_x as isize + src.dx as isize - pad;
+                        input.push(ifm.get_padded(src.ic, iy, ix));
+                    }
+                    let result = xbar.mvm(&input)?;
+                    stats.record_cycle(
+                        &self.energy,
+                        layout.rows_used(),
+                        layout.cols_used(),
+                        layout.used_cells(),
+                    );
+                    for (col, sink) in layout.col_sinks().iter().enumerate() {
+                        let gy = pos.first_win_y + sink.wy;
+                        let gx = pos.first_win_x + sink.wx;
+                        if owner[gy * ow + gx] == pidx {
+                            out.add_assign_at(sink.oc, gy, gx, result[col]);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(SimRun { ofm: out, stats })
+    }
+
+    fn run_smd<T: Scalar>(
+        &self,
+        plan: &MappingPlan,
+        ifm: &Tensor3<T>,
+        weights: &Tensor4<T>,
+    ) -> Result<SimRun<T>> {
+        let layer = plan.layer();
+        let (oh, ow) = layer.output_dims();
+        let pad = layer.padding() as isize;
+        let stride = layer.stride();
+        let mut out = Tensor3::zeros(layer.out_channels(), oh, ow);
+        let mut stats = RunStats::new();
+
+        let layout = SmdLayout::build(plan)?;
+        let mut xbar = Crossbar::new(layout.rows_used(), layout.cols_used());
+        xbar.program_layout(layout.cells(), weights)?;
+        stats.record_programming();
+
+        let d = layout.duplication();
+        let n_windows = (oh * ow) as u64;
+        let (kw, kh) = (layer.kernel_w(), layer.kernel_h());
+        let ic = layer.in_channels();
+        let oc = layer.out_channels();
+        let mut input = vec![T::ZERO; layout.rows_used()];
+        let mut cycle_start = 0u64;
+        while cycle_start < n_windows {
+            input.fill(T::ZERO);
+            for copy in 0..d {
+                let w_idx = cycle_start + copy as u64;
+                if w_idx >= n_windows {
+                    continue;
+                }
+                let gy = (w_idx as usize) / ow;
+                let gx = (w_idx as usize) % ow;
+                let mut row = copy * layout.kernel_rows();
+                for c in 0..ic {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let iy = (gy * stride + ky * layer.dilation()) as isize - pad;
+                            let ix = (gx * stride + kx * layer.dilation()) as isize - pad;
+                            input[row] = ifm.get_padded(c, iy, ix);
+                            row += 1;
+                        }
+                    }
+                }
+            }
+            let result = xbar.mvm(&input)?;
+            stats.record_cycle(
+                &self.energy,
+                layout.rows_used(),
+                layout.cols_used(),
+                layout.used_cells(),
+            );
+            for copy in 0..d {
+                let w_idx = cycle_start + copy as u64;
+                if w_idx >= n_windows {
+                    continue;
+                }
+                let gy = (w_idx as usize) / ow;
+                let gx = (w_idx as usize) % ow;
+                for o in 0..oc {
+                    out.add_assign_at(o, gy, gx, result[copy * oc + o]);
+                }
+            }
+            cycle_start += d as u64;
+        }
+        Ok(SimRun { ofm: out, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::PimArray;
+    use pim_tensor::{conv2d_direct, gen};
+
+    fn arr(r: usize, c: usize) -> PimArray {
+        PimArray::new(r, c).unwrap()
+    }
+
+    fn check_layer(plan: &MappingPlan, seed: u64) {
+        let layer = plan.layer();
+        let ifm = gen::random3::<i64>(layer.in_channels(), layer.input_h(), layer.input_w(), seed);
+        let weights = gen::random4::<i64>(
+            layer.out_channels(),
+            layer.in_channels(),
+            layer.kernel_h(),
+            layer.kernel_w(),
+            seed ^ 0x5a5a,
+        );
+        let run = Engine::new().run(plan, &ifm, &weights).unwrap();
+        let reference = conv2d_direct(&ifm, &weights, layer_params(layer)).unwrap();
+        assert_eq!(run.ofm(), &reference, "{} mismatch", plan.algorithm());
+        assert_eq!(
+            run.stats().computing_cycles,
+            plan.cycles(),
+            "{} cycle count mismatch",
+            plan.algorithm()
+        );
+    }
+
+    #[test]
+    fn im2col_execution_matches_reference() {
+        let l = ConvLayer::square("c", 8, 3, 3, 5).unwrap();
+        let plan = MappingAlgorithm::Im2col.plan(&l, arr(32, 16)).unwrap();
+        check_layer(&plan, 11);
+    }
+
+    #[test]
+    fn im2col_with_row_tiling_matches_reference() {
+        // Kernel rows 27 on a 16-row array: AR = 2, dense straddling.
+        let l = ConvLayer::square("c", 6, 3, 3, 4).unwrap();
+        let plan = MappingAlgorithm::Im2col.plan(&l, arr(16, 8)).unwrap();
+        assert!(plan.ar_cycles() > 1);
+        check_layer(&plan, 12);
+    }
+
+    #[test]
+    fn vw_execution_matches_reference() {
+        let l = ConvLayer::square("c", 10, 3, 4, 6).unwrap();
+        let plan = MappingAlgorithm::VwSdk.plan(&l, arr(64, 48)).unwrap();
+        assert!(plan.windows_in_pw() > 1, "expected a real parallel window");
+        check_layer(&plan, 13);
+    }
+
+    #[test]
+    fn vw_with_channel_tiling_matches_reference() {
+        // Force AR > 1: 8 channels, ICt limited by a small array.
+        let l = ConvLayer::square("c", 9, 3, 8, 6).unwrap();
+        let plan = MappingAlgorithm::VwSdk.plan(&l, arr(48, 32)).unwrap();
+        check_layer(&plan, 14);
+    }
+
+    #[test]
+    fn sdk_execution_matches_reference() {
+        let l = ConvLayer::square("c", 12, 3, 4, 8).unwrap();
+        let plan = MappingAlgorithm::Sdk.plan(&l, arr(64, 64)).unwrap();
+        check_layer(&plan, 15);
+    }
+
+    #[test]
+    fn smd_execution_matches_reference() {
+        let l = ConvLayer::square("c", 8, 3, 2, 3).unwrap();
+        let plan = MappingAlgorithm::Smd.plan(&l, arr(64, 64)).unwrap();
+        assert!(plan.duplication() > 1);
+        check_layer(&plan, 16);
+    }
+
+    #[test]
+    fn strided_padded_layer_matches_reference() {
+        let l = ConvLayer::builder("sp")
+            .input(9, 9)
+            .kernel(3, 3)
+            .channels(2, 4)
+            .stride(2)
+            .padding(1)
+            .build()
+            .unwrap();
+        for alg in [MappingAlgorithm::Im2col, MappingAlgorithm::VwSdk] {
+            let plan = alg.plan(&l, arr(48, 32)).unwrap();
+            check_layer(&plan, 17);
+        }
+    }
+
+    #[test]
+    fn engine_rejects_mismatched_tensors() {
+        let l = ConvLayer::square("c", 8, 3, 2, 3).unwrap();
+        let plan = MappingAlgorithm::Im2col.plan(&l, arr(32, 32)).unwrap();
+        let bad_ifm = gen::random3::<i64>(3, 8, 8, 1);
+        let weights = gen::random4::<i64>(3, 2, 3, 3, 2);
+        assert!(Engine::new().run(&plan, &bad_ifm, &weights).is_err());
+        let ifm = gen::random3::<i64>(2, 8, 8, 1);
+        let bad_w = gen::random4::<i64>(3, 2, 5, 5, 2);
+        assert!(Engine::new().run(&plan, &ifm, &bad_w).is_err());
+    }
+
+    #[test]
+    fn stats_count_programmings_and_conversions() {
+        let l = ConvLayer::square("c", 6, 3, 3, 4).unwrap();
+        let plan = MappingAlgorithm::Im2col.plan(&l, arr(16, 8)).unwrap();
+        let ifm = gen::random3::<i64>(3, 6, 6, 3);
+        let weights = gen::random4::<i64>(4, 3, 3, 3, 4);
+        let run = Engine::new().run(&plan, &ifm, &weights).unwrap();
+        let s = run.stats();
+        assert_eq!(s.array_programmings, plan.ar_cycles() * plan.ac_cycles());
+        assert!(s.adc_conversions > 0);
+        assert!(s.dac_conversions > 0);
+        assert!(s.energy_pj() > 0.0);
+    }
+
+    #[test]
+    fn float_execution_is_close_to_reference() {
+        let l = ConvLayer::square("c", 8, 3, 2, 3).unwrap();
+        let plan = MappingAlgorithm::VwSdk.plan(&l, arr(64, 64)).unwrap();
+        let ifm = gen::random3::<f64>(2, 8, 8, 5);
+        let weights = gen::random4::<f64>(3, 2, 3, 3, 6);
+        let run = Engine::new().run(&plan, &ifm, &weights).unwrap();
+        let reference = conv2d_direct(&ifm, &weights, layer_params(&l)).unwrap();
+        for (a, b) in run.ofm().as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

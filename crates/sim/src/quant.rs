@@ -1,0 +1,184 @@
+//! Finite-precision device modelling.
+//!
+//! Real crossbars store weights in low-precision cells, drive inputs
+//! through DACs and read columns through saturating ADCs. This module
+//! quantizes an `f64` execution accordingly so the extension experiments
+//! can study accuracy-vs-precision without leaving the simulator. The
+//! paper itself assumes ideal devices (its metric is cycle count), so all
+//! paper-facing experiments use the exact integer path instead.
+
+use crate::engine::{layer_params, Engine};
+use crate::Result;
+use pim_mapping::MappingPlan;
+use pim_tensor::{conv2d_direct, Tensor3, Tensor4};
+
+/// Precision configuration of a quantized execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantSpec {
+    /// Weight precision in bits (symmetric signed).
+    pub weight_bits: u8,
+    /// Input (DAC) precision in bits.
+    pub input_bits: u8,
+}
+
+impl QuantSpec {
+    /// 8-bit weights and inputs, the common inference configuration.
+    pub fn int8() -> Self {
+        Self {
+            weight_bits: 8,
+            input_bits: 8,
+        }
+    }
+
+    /// 4-bit weights and inputs.
+    pub fn int4() -> Self {
+        Self {
+            weight_bits: 4,
+            input_bits: 4,
+        }
+    }
+}
+
+/// Symmetrically quantizes `value` onto a `bits`-bit signed grid scaled to
+/// `max_abs`, returning the dequantized value.
+///
+/// `max_abs <= 0` or zero grids return 0.
+pub fn quantize_symmetric(value: f64, bits: u8, max_abs: f64) -> f64 {
+    if max_abs <= 0.0 || bits == 0 {
+        return 0.0;
+    }
+    let levels = ((1u64 << (bits - 1)) - 1) as f64;
+    if levels == 0.0 {
+        return 0.0;
+    }
+    let step = max_abs / levels;
+    (value / step).round().clamp(-levels, levels) * step
+}
+
+fn max_abs(values: &[f64]) -> f64 {
+    values.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Result of a quantized execution compared to the exact reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantRun {
+    /// The quantized output feature map.
+    pub ofm: Tensor3<f64>,
+    /// Root-mean-square error against the exact (unquantized) reference.
+    pub rmse: f64,
+    /// Maximum absolute error.
+    pub max_abs_error: f64,
+}
+
+/// Executes a plan with weights and inputs quantized per `spec`, and
+/// reports the error against the exact reference convolution.
+///
+/// # Errors
+///
+/// Returns [`crate::SimError`] under the same conditions as
+/// [`Engine::run`].
+pub fn run_quantized(
+    plan: &MappingPlan,
+    ifm: &Tensor3<f64>,
+    weights: &Tensor4<f64>,
+    spec: QuantSpec,
+) -> Result<QuantRun> {
+    let layer = plan.layer();
+    let w_scale = max_abs(weights.as_slice());
+    let x_scale = max_abs(ifm.as_slice());
+
+    let (c, h, w) = ifm.dims();
+    let mut q_ifm = Tensor3::zeros(c, h, w);
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                q_ifm.set(
+                    ci,
+                    y,
+                    x,
+                    quantize_symmetric(ifm.get(ci, y, x), spec.input_bits, x_scale),
+                );
+            }
+        }
+    }
+    let (oc, ic, kh, kw) = weights.dims();
+    let mut q_w = Tensor4::zeros(oc, ic, kh, kw);
+    for o in 0..oc {
+        for ci in 0..ic {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    q_w.set(
+                        o,
+                        ci,
+                        ky,
+                        kx,
+                        quantize_symmetric(weights.get(o, ci, ky, kx), spec.weight_bits, w_scale),
+                    );
+                }
+            }
+        }
+    }
+
+    let run = Engine::new().run(plan, &q_ifm, &q_w)?;
+    let exact = conv2d_direct(ifm, weights, layer_params(layer))?;
+    let mut sum_sq = 0.0;
+    let mut max_err = 0.0f64;
+    for (a, b) in run.ofm().as_slice().iter().zip(exact.as_slice()) {
+        let e = (a - b).abs();
+        sum_sq += e * e;
+        max_err = max_err.max(e);
+    }
+    let rmse = (sum_sq / exact.as_slice().len() as f64).sqrt();
+    Ok(QuantRun {
+        ofm: run.into_ofm(),
+        rmse,
+        max_abs_error: max_err,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::PimArray;
+    use pim_mapping::MappingAlgorithm;
+    use pim_nets::ConvLayer;
+    use pim_tensor::gen;
+
+    #[test]
+    fn quantizer_is_idempotent_on_grid_points() {
+        let q = quantize_symmetric(0.5, 8, 1.0);
+        assert_eq!(quantize_symmetric(q, 8, 1.0), q);
+        assert_eq!(quantize_symmetric(0.0, 8, 1.0), 0.0);
+    }
+
+    #[test]
+    fn quantizer_clamps_to_range() {
+        let q = quantize_symmetric(10.0, 4, 1.0);
+        assert!(q <= 1.0 + 1e-12);
+        let qn = quantize_symmetric(-10.0, 4, 1.0);
+        assert!(qn >= -1.0 - 1e-12);
+    }
+
+    #[test]
+    fn zero_bits_or_scale_yield_zero() {
+        assert_eq!(quantize_symmetric(0.7, 0, 1.0), 0.0);
+        assert_eq!(quantize_symmetric(0.7, 8, 0.0), 0.0);
+    }
+
+    #[test]
+    fn more_bits_mean_less_error() {
+        let l = ConvLayer::square("c", 8, 3, 2, 3).unwrap();
+        let plan = MappingAlgorithm::VwSdk
+            .plan(&l, PimArray::new(64, 64).unwrap())
+            .unwrap();
+        let ifm = gen::random3::<f64>(2, 8, 8, 7);
+        let weights = gen::random4::<f64>(3, 2, 3, 3, 8);
+        let q4 = run_quantized(&plan, &ifm, &weights, QuantSpec::int4()).unwrap();
+        let q8 = run_quantized(&plan, &ifm, &weights, QuantSpec::int8()).unwrap();
+        assert!(q8.rmse <= q4.rmse);
+        // Output magnitudes are O(10^2); 8-bit quantization should keep
+        // the error within a percent of that, 4-bit visibly larger.
+        assert!(q8.rmse < 2.0, "int8 rmse {}", q8.rmse);
+        assert!(q4.rmse > q8.rmse * 2.0, "quantization error should grow sharply at 4 bits");
+    }
+}

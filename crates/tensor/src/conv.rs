@@ -1,0 +1,478 @@
+//! Reference 2-D convolution kernels.
+//!
+//! Two independent implementations are provided so they can cross-check each
+//! other (and, transitively, the PIM crossbar simulator):
+//!
+//! * [`conv2d_direct`] — the textbook seven-loop convolution;
+//! * [`conv2d_im2col`] — lowering to a patch matrix followed by GEMM, which
+//!   is also exactly the "image to column" mapping of the paper's Fig. 2(a).
+//!
+//! Both support stride, zero padding and dilation; [`conv2d_grouped`] adds
+//! grouped/depthwise convolution for the MobileNet-style extension nets.
+
+use crate::matmul::matmul;
+use crate::{Result, Scalar, ShapeError, Tensor2, Tensor3, Tensor4};
+
+/// Hyper-parameters of a 2-D convolution: stride, zero padding and dilation.
+///
+/// The VW-SDK paper evaluates unit-stride, unpadded convolutions (its window
+/// arithmetic counts `I − K + 1` positions per axis); [`Conv2dParams::unit`]
+/// is that configuration. The generalized fields exist for the extension
+/// experiments and are honoured by every kernel in this module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Vertical stride (≥ 1).
+    pub stride_h: usize,
+    /// Horizontal stride (≥ 1).
+    pub stride_w: usize,
+    /// Zero padding added to the top and bottom.
+    pub pad_h: usize,
+    /// Zero padding added to the left and right.
+    pub pad_w: usize,
+    /// Vertical dilation (≥ 1); 1 means a dense kernel.
+    pub dilation_h: usize,
+    /// Horizontal dilation (≥ 1).
+    pub dilation_w: usize,
+}
+
+impl Conv2dParams {
+    /// Unit stride, no padding, no dilation — the paper's configuration.
+    pub fn unit() -> Self {
+        Self {
+            stride_h: 1,
+            stride_w: 1,
+            pad_h: 0,
+            pad_w: 0,
+            dilation_h: 1,
+            dilation_w: 1,
+        }
+    }
+
+    /// Uniform stride in both axes, no padding.
+    pub fn with_stride(stride: usize) -> Self {
+        Self {
+            stride_h: stride,
+            stride_w: stride,
+            ..Self::unit()
+        }
+    }
+
+    /// Uniform zero padding in both axes, unit stride.
+    pub fn with_padding(pad: usize) -> Self {
+        Self {
+            pad_h: pad,
+            pad_w: pad,
+            ..Self::unit()
+        }
+    }
+
+    /// Effective kernel extent along one axis after dilation.
+    fn effective(extent: usize, dilation: usize) -> usize {
+        (extent - 1) * dilation + 1
+    }
+
+    /// Output spatial size for an input of `(h, w)` and kernel `(kh, kw)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the stride or dilation is zero, or if the
+    /// (dilated) kernel does not fit inside the padded input.
+    pub fn output_dims(
+        &self,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+    ) -> Result<(usize, usize)> {
+        if self.stride_h == 0 || self.stride_w == 0 {
+            return Err(ShapeError::new("stride must be >= 1"));
+        }
+        if self.dilation_h == 0 || self.dilation_w == 0 {
+            return Err(ShapeError::new("dilation must be >= 1"));
+        }
+        if kh == 0 || kw == 0 {
+            return Err(ShapeError::new("kernel must be non-empty"));
+        }
+        let eff_h = Self::effective(kh, self.dilation_h);
+        let eff_w = Self::effective(kw, self.dilation_w);
+        let padded_h = h + 2 * self.pad_h;
+        let padded_w = w + 2 * self.pad_w;
+        if eff_h > padded_h || eff_w > padded_w {
+            return Err(ShapeError::new(format!(
+                "kernel {eff_h}x{eff_w} (dilated) exceeds padded input {padded_h}x{padded_w}"
+            )));
+        }
+        Ok((
+            (padded_h - eff_h) / self.stride_h + 1,
+            (padded_w - eff_w) / self.stride_w + 1,
+        ))
+    }
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Self::unit()
+    }
+}
+
+fn check_channels<T: Scalar>(input: &Tensor3<T>, weights: &Tensor4<T>) -> Result<()> {
+    if input.channels() != weights.in_channels() {
+        return Err(ShapeError::new(format!(
+            "input has {} channels but weights expect {}",
+            input.channels(),
+            weights.in_channels()
+        )));
+    }
+    Ok(())
+}
+
+/// Direct (seven-loop) 2-D convolution.
+///
+/// The output has dimensions `(OC, OH, OW)` per [`Conv2dParams::output_dims`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if channel counts disagree or the kernel does not
+/// fit the padded input.
+///
+/// # Example
+///
+/// ```
+/// use pim_tensor::{conv2d_direct, Conv2dParams, Tensor3, Tensor4};
+///
+/// // 1x3x3 input, single 1x1x2x2 box kernel: each output is a 2x2 sum.
+/// let ifm = Tensor3::from_vec(1, 3, 3, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]).unwrap();
+/// let w = Tensor4::from_vec(1, 1, 2, 2, vec![1, 1, 1, 1]).unwrap();
+/// let ofm = conv2d_direct(&ifm, &w, Conv2dParams::unit()).unwrap();
+/// assert_eq!(ofm.as_slice(), &[12, 16, 24, 28]);
+/// ```
+pub fn conv2d_direct<T: Scalar>(
+    input: &Tensor3<T>,
+    weights: &Tensor4<T>,
+    params: Conv2dParams,
+) -> Result<Tensor3<T>> {
+    check_channels(input, weights)?;
+    let (oc, ic, kh, kw) = weights.dims();
+    let (oh, ow) = params.output_dims(input.height(), input.width(), kh, kw)?;
+    let mut out = Tensor3::zeros(oc, oh, ow);
+    for o in 0..oc {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = T::ZERO;
+                let base_y = (oy * params.stride_h) as isize - params.pad_h as isize;
+                let base_x = (ox * params.stride_w) as isize - params.pad_w as isize;
+                for c in 0..ic {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let iy = base_y + (ky * params.dilation_h) as isize;
+                            let ix = base_x + (kx * params.dilation_w) as isize;
+                            acc += input.get_padded(c, iy, ix) * weights.get(o, c, ky, kx);
+                        }
+                    }
+                }
+                out.set(o, oy, ox, acc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lowers the input into the im2col patch matrix.
+///
+/// Row `r` of the result holds one flattened receptive field (channel-major,
+/// then kernel-row-major) for output position `r` (row-major over `OH×OW`);
+/// column order matches the weight flattening used by [`conv2d_im2col`].
+/// This matrix *is* the sequence of input vectors that the paper's im2col
+/// mapping drives into the crossbar rows, one row per computing cycle.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the kernel does not fit the padded input.
+pub fn im2col_matrix<T: Scalar>(
+    input: &Tensor3<T>,
+    kh: usize,
+    kw: usize,
+    params: Conv2dParams,
+) -> Result<Tensor2<T>> {
+    let (oh, ow) = params.output_dims(input.height(), input.width(), kh, kw)?;
+    let ic = input.channels();
+    let mut m = Tensor2::zeros(oh * ow, ic * kh * kw);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let r = oy * ow + ox;
+            let base_y = (oy * params.stride_h) as isize - params.pad_h as isize;
+            let base_x = (ox * params.stride_w) as isize - params.pad_w as isize;
+            let mut col = 0;
+            for c in 0..ic {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let iy = base_y + (ky * params.dilation_h) as isize;
+                        let ix = base_x + (kx * params.dilation_w) as isize;
+                        m.set(r, col, input.get_padded(c, iy, ix));
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(m)
+}
+
+/// im2col + GEMM convolution; numerically identical to [`conv2d_direct`]
+/// (bit-exact for integer scalars).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`conv2d_direct`].
+pub fn conv2d_im2col<T: Scalar>(
+    input: &Tensor3<T>,
+    weights: &Tensor4<T>,
+    params: Conv2dParams,
+) -> Result<Tensor3<T>> {
+    check_channels(input, weights)?;
+    let (oc, ic, kh, kw) = weights.dims();
+    let (oh, ow) = params.output_dims(input.height(), input.width(), kh, kw)?;
+    let patches = im2col_matrix(input, kh, kw, params)?;
+    // Weight matrix: one kernel per column (the crossbar orientation).
+    let mut wmat = Tensor2::zeros(ic * kh * kw, oc);
+    for o in 0..oc {
+        let mut row = 0;
+        for c in 0..ic {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    wmat.set(row, o, weights.get(o, c, ky, kx));
+                    row += 1;
+                }
+            }
+        }
+    }
+    let prod = matmul(&patches, &wmat)?;
+    let mut out = Tensor3::zeros(oc, oh, ow);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for o in 0..oc {
+                out.set(o, oy, ox, prod.get(oy * ow + ox, o));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Grouped convolution: input and output channels are split into `groups`
+/// contiguous blocks convolved independently (depthwise when
+/// `groups == IC == OC`).
+///
+/// `weights` must have `in_channels = IC / groups`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if channel counts are not divisible by `groups`
+/// or the per-group shapes disagree.
+pub fn conv2d_grouped<T: Scalar>(
+    input: &Tensor3<T>,
+    weights: &Tensor4<T>,
+    params: Conv2dParams,
+    groups: usize,
+) -> Result<Tensor3<T>> {
+    if groups == 0 {
+        return Err(ShapeError::new("groups must be >= 1"));
+    }
+    let ic = input.channels();
+    let (oc, wic, kh, kw) = weights.dims();
+    if !ic.is_multiple_of(groups) || oc % groups != 0 {
+        return Err(ShapeError::new(format!(
+            "channels (IC={ic}, OC={oc}) not divisible by groups={groups}"
+        )));
+    }
+    let icg = ic / groups;
+    let ocg = oc / groups;
+    if wic != icg {
+        return Err(ShapeError::new(format!(
+            "weights expect {wic} in-channels per group, input provides {icg}"
+        )));
+    }
+    let (oh, ow) = params.output_dims(input.height(), input.width(), kh, kw)?;
+    let mut out = Tensor3::zeros(oc, oh, ow);
+    for g in 0..groups {
+        // Slice out the group's input channels.
+        let mut gin = Tensor3::zeros(icg, input.height(), input.width());
+        for c in 0..icg {
+            for y in 0..input.height() {
+                for x in 0..input.width() {
+                    gin.set(c, y, x, input.get(g * icg + c, y, x));
+                }
+            }
+        }
+        let mut gw = Tensor4::zeros(ocg, icg, kh, kw);
+        for o in 0..ocg {
+            for c in 0..icg {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        gw.set(o, c, ky, kx, weights.get(g * ocg + o, c, ky, kx));
+                    }
+                }
+            }
+        }
+        let gout = conv2d_direct(&gin, &gw, params)?;
+        for o in 0..ocg {
+            for y in 0..oh {
+                for x in 0..ow {
+                    out.set(g * ocg + o, y, x, gout.get(o, y, x));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn output_dims_basic() {
+        let p = Conv2dParams::unit();
+        assert_eq!(p.output_dims(5, 5, 3, 3).unwrap(), (3, 3));
+        assert_eq!(p.output_dims(224, 224, 3, 3).unwrap(), (222, 222));
+    }
+
+    #[test]
+    fn output_dims_stride_and_pad() {
+        let p = Conv2dParams {
+            stride_h: 2,
+            stride_w: 2,
+            pad_h: 3,
+            pad_w: 3,
+            ..Conv2dParams::unit()
+        };
+        // ResNet-18 stem: 224x224, 7x7/2 pad 3 -> 112x112.
+        assert_eq!(p.output_dims(224, 224, 7, 7).unwrap(), (112, 112));
+    }
+
+    #[test]
+    fn output_dims_dilation() {
+        let p = Conv2dParams {
+            dilation_h: 2,
+            dilation_w: 2,
+            ..Conv2dParams::unit()
+        };
+        // Effective kernel 5x5 on a 7x7 input -> 3x3.
+        assert_eq!(p.output_dims(7, 7, 3, 3).unwrap(), (3, 3));
+    }
+
+    #[test]
+    fn output_dims_rejects_oversized_kernel() {
+        assert!(Conv2dParams::unit().output_dims(2, 2, 3, 3).is_err());
+    }
+
+    #[test]
+    fn output_dims_rejects_zero_stride() {
+        let p = Conv2dParams {
+            stride_h: 0,
+            ..Conv2dParams::unit()
+        };
+        assert!(p.output_dims(5, 5, 3, 3).is_err());
+    }
+
+    #[test]
+    fn direct_single_pixel_identity() {
+        // 1x1 kernel with weight 1 copies the input.
+        let ifm = gen::ramp3::<i32>(2, 3, 3);
+        let w = Tensor4::from_vec(2, 2, 1, 1, vec![1, 0, 0, 1]).unwrap();
+        let o = conv2d_direct(&ifm, &w, Conv2dParams::unit()).unwrap();
+        assert_eq!(o, ifm);
+    }
+
+    #[test]
+    fn direct_matches_hand_example_with_padding() {
+        let ifm = Tensor3::from_vec(1, 2, 2, vec![1, 2, 3, 4]).unwrap();
+        let w = Tensor4::from_vec(1, 1, 3, 3, vec![0, 0, 0, 0, 1, 0, 0, 0, 0]).unwrap();
+        let o = conv2d_direct(&ifm, &w, Conv2dParams::with_padding(1)).unwrap();
+        // Center-tap kernel with pad 1 reproduces the input.
+        assert_eq!(o.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn im2col_matches_direct_unit() {
+        let ifm = gen::random3::<i64>(3, 9, 9, 42);
+        let w = gen::random4::<i64>(5, 3, 3, 3, 43);
+        let a = conv2d_direct(&ifm, &w, Conv2dParams::unit()).unwrap();
+        let b = conv2d_im2col(&ifm, &w, Conv2dParams::unit()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn im2col_matches_direct_strided_padded() {
+        let p = Conv2dParams {
+            stride_h: 2,
+            stride_w: 3,
+            pad_h: 1,
+            pad_w: 2,
+            ..Conv2dParams::unit()
+        };
+        let ifm = gen::random3::<i64>(2, 11, 13, 7);
+        let w = gen::random4::<i64>(4, 2, 3, 5, 8);
+        let a = conv2d_direct(&ifm, &w, p).unwrap();
+        let b = conv2d_im2col(&ifm, &w, p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn im2col_matrix_shape() {
+        let ifm = gen::ramp3::<i32>(4, 6, 6);
+        let m = im2col_matrix(&ifm, 3, 3, Conv2dParams::unit()).unwrap();
+        assert_eq!(m.dims(), (16, 36));
+    }
+
+    #[test]
+    fn grouped_equals_dense_when_one_group() {
+        let ifm = gen::random3::<i64>(4, 6, 6, 11);
+        let w = gen::random4::<i64>(6, 4, 3, 3, 12);
+        let dense = conv2d_direct(&ifm, &w, Conv2dParams::unit()).unwrap();
+        let grouped = conv2d_grouped(&ifm, &w, Conv2dParams::unit(), 1).unwrap();
+        assert_eq!(dense, grouped);
+    }
+
+    #[test]
+    fn depthwise_convolves_channels_independently() {
+        // groups == IC == OC: each output channel sees only its own input.
+        let ifm = gen::random3::<i64>(3, 5, 5, 21);
+        let w = gen::random4::<i64>(3, 1, 3, 3, 22);
+        let o = conv2d_grouped(&ifm, &w, Conv2dParams::unit(), 3).unwrap();
+        // Channel 1 computed in isolation must match.
+        let mut one_in = Tensor3::zeros(1, 5, 5);
+        for y in 0..5 {
+            for x in 0..5 {
+                one_in.set(0, y, x, ifm.get(1, y, x));
+            }
+        }
+        let mut one_w = Tensor4::zeros(1, 1, 3, 3);
+        for ky in 0..3 {
+            for kx in 0..3 {
+                one_w.set(0, 0, ky, kx, w.get(1, 0, ky, kx));
+            }
+        }
+        let solo = conv2d_direct(&one_in, &one_w, Conv2dParams::unit()).unwrap();
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(o.get(1, y, x), solo.get(0, y, x));
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_rejects_indivisible_channels() {
+        let ifm = gen::ramp3::<i32>(3, 5, 5);
+        let w = gen::ramp4::<i32>(4, 1, 3, 3);
+        assert!(conv2d_grouped(&ifm, &w, Conv2dParams::unit(), 2).is_err());
+    }
+
+    #[test]
+    fn channel_mismatch_is_rejected() {
+        let ifm = gen::ramp3::<i32>(3, 5, 5);
+        let w = gen::ramp4::<i32>(2, 4, 3, 3);
+        assert!(conv2d_direct(&ifm, &w, Conv2dParams::unit()).is_err());
+        assert!(conv2d_im2col(&ifm, &w, Conv2dParams::unit()).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Naive dense matrix multiplication.
+//!
+//! Used by the im2col convolution path and by tests that cross-check the
+//! crossbar simulator. Performance is irrelevant here — correctness and
+//! exactness (for integer scalars) are what matter — so the implementation
+//! is the textbook triple loop.
+
+use crate::{Result, Scalar, ShapeError, Tensor2};
+
+/// Computes the product `a · b` of an `m×k` and a `k×n` matrix.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use pim_tensor::{matmul::matmul, Tensor2};
+///
+/// let a = Tensor2::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+/// let b = Tensor2::from_vec(2, 1, vec![5, 6]).unwrap();
+/// let c = matmul(&a, &b).unwrap();
+/// assert_eq!(c.as_slice(), &[17, 39]);
+/// ```
+pub fn matmul<T: Scalar>(a: &Tensor2<T>, b: &Tensor2<T>) -> Result<Tensor2<T>> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new(format!(
+            "matmul inner dims disagree: {}x{} . {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let (m, k) = a.dims();
+    let n = b.cols();
+    let mut out = Tensor2::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a.get(i, p);
+            if aip == T::ZERO {
+                continue;
+            }
+            for j in 0..n {
+                out.add_assign_at(i, j, aip * b.get(p, j));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes the matrix-vector product `a · x`.
+///
+/// This is the digital model of one crossbar read: `x` drives the rows, the
+/// result is the per-column accumulated current.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `x.len() != a.rows()` — note the *rows*: the
+/// crossbar convention used throughout this project stores one kernel per
+/// **column**, so the product computed is `aᵀx` expressed as column sums.
+///
+/// # Example
+///
+/// ```
+/// use pim_tensor::{matmul::column_mvm, Tensor2};
+///
+/// // Two columns holding weights (1,3) and (2,4).
+/// let a = Tensor2::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+/// let y = column_mvm(&a, &[10, 100]).unwrap();
+/// assert_eq!(y, vec![310, 420]);
+/// ```
+pub fn column_mvm<T: Scalar>(a: &Tensor2<T>, x: &[T]) -> Result<Vec<T>> {
+    if x.len() != a.rows() {
+        return Err(ShapeError::new(format!(
+            "column_mvm expects input of length {}, got {}",
+            a.rows(),
+            x.len()
+        )));
+    }
+    let mut out = vec![T::ZERO; a.cols()];
+    for (r, &xr) in x.iter().enumerate() {
+        if xr == T::ZERO {
+            continue;
+        }
+        let row = a.row(r);
+        for (acc, &w) in out.iter_mut().zip(row.iter()) {
+            *acc += xr * w;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_matrix_is_matrix() {
+        let mut id: Tensor2<i64> = Tensor2::zeros(3, 3);
+        for i in 0..3 {
+            id.set(i, i, 1);
+        }
+        let b = Tensor2::from_vec(3, 2, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let c = matmul(&id, &b).unwrap();
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn rectangular_product_matches_hand_computation() {
+        let a = Tensor2::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let b = Tensor2::from_vec(3, 2, vec![7, 8, 9, 10, 11, 12]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58, 64, 139, 154]);
+    }
+
+    #[test]
+    fn mismatched_dims_error() {
+        let a: Tensor2<i32> = Tensor2::zeros(2, 3);
+        let b: Tensor2<i32> = Tensor2::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn column_mvm_matches_matmul() {
+        let a = Tensor2::from_vec(3, 2, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let x = vec![7i32, 8, 9];
+        let via_mvm = column_mvm(&a, &x).unwrap();
+        // Compare against xᵀ·a computed with matmul.
+        let xm = Tensor2::from_vec(1, 3, x).unwrap();
+        let prod = matmul(&xm, &a).unwrap();
+        assert_eq!(via_mvm, prod.as_slice());
+    }
+
+    #[test]
+    fn column_mvm_rejects_bad_length() {
+        let a: Tensor2<i32> = Tensor2::zeros(3, 2);
+        assert!(column_mvm(&a, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn zero_rows_are_skipped_but_counted() {
+        let a = Tensor2::from_vec(2, 2, vec![1, 1, 1, 1]).unwrap();
+        let y = column_mvm(&a, &[0, 5]).unwrap();
+        assert_eq!(y, vec![5, 5]);
+    }
+}

@@ -1,0 +1,93 @@
+//! The numeric element trait shared by all tensors in this crate.
+
+use std::fmt::Debug;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Element type usable in tensors and convolution kernels.
+///
+/// This is deliberately small: the reference kernels only need a ring with a
+/// zero element. Implementations are provided for `f32`, `f64`, `i32`, `i64`
+/// and `i128`. Integer instantiations give *exact* arithmetic, which the
+/// cross-checking tests in `pim-sim` rely on; float instantiations model the
+/// analog datapath.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Sum
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Converts a small unsigned integer into the scalar domain.
+    ///
+    /// Used by the deterministic generators in [`crate::gen`]; values stay
+    /// far below the integer mantissa limit of `f32`, so the conversion is
+    /// exact for every provided implementation.
+    fn from_u16(value: u16) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {
+        $(
+            impl Scalar for $t {
+                const ZERO: Self = 0 as $t;
+                const ONE: Self = 1 as $t;
+
+                fn from_u16(value: u16) -> Self {
+                    value as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_scalar!(f32, f64, i32, i64, i128);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_sum<T: Scalar>(values: &[T]) -> T {
+        values.iter().copied().sum()
+    }
+
+    #[test]
+    fn zero_and_one_are_identities() {
+        assert_eq!(i32::ONE, 1);
+        assert_eq!(f64::ONE * f64::ONE, 1.0);
+        assert_eq!(i128::ZERO, 0);
+    }
+
+    #[test]
+    fn from_u16_is_exact_for_floats() {
+        assert_eq!(f32::from_u16(u16::MAX), 65535.0);
+        assert_eq!(f64::from_u16(12345), 12345.0);
+    }
+
+    #[test]
+    fn sum_works_through_the_trait() {
+        let xs = [1i64, 2, 3, 4];
+        assert_eq!(generic_sum(&xs), 10);
+        let ys = [0.5f32, 0.25, 0.25];
+        assert_eq!(generic_sum(&ys), 1.0);
+    }
+
+    #[test]
+    fn negation_is_available() {
+        fn negate<T: Scalar>(x: T) -> T {
+            -x
+        }
+        assert_eq!(negate(5i32), -5);
+        assert_eq!(negate(2.0f64), -2.0);
+    }
+}

@@ -1,0 +1,486 @@
+//! Minimal row-major dense tensor types.
+//!
+//! The crate intentionally avoids a general N-dimensional array: the
+//! reproduction only ever needs a matrix ([`Tensor2`]), a `C×H×W` feature
+//! map ([`Tensor3`]) and an `OC×IC×KH×KW` weight bank ([`Tensor4`]). Fixed
+//! arities keep indexing explicit and make shape errors impossible to
+//! express, not merely checked.
+
+use crate::{Result, Scalar, ShapeError};
+
+/// A dense row-major matrix with `rows × cols` elements.
+///
+/// # Example
+///
+/// ```
+/// use pim_tensor::Tensor2;
+///
+/// let mut m: Tensor2<i32> = Tensor2::zeros(2, 3);
+/// m.set(1, 2, 7);
+/// assert_eq!(m.get(1, 2), 7);
+/// assert_eq!(m.dims(), (2, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor2<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor2<T> {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major element vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new(format!(
+                "Tensor2 expects {rows}x{cols}={} elements, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        assert!(row < self.rows && col < self.cols, "Tensor2 index OOB");
+        self.data[row * self.cols + col]
+    }
+
+    /// Writes the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.rows && col < self.cols, "Tensor2 index OOB");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Adds `value` to the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add_assign_at(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.rows && col < self.cols, "Tensor2 index OOB");
+        self.data[row * self.cols + col] += value;
+    }
+
+    /// Immutable view of the backing row-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// One full row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "Tensor2 row OOB");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Consumes the matrix, returning the backing vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+/// A dense `channels × height × width` tensor (a feature map).
+///
+/// # Example
+///
+/// ```
+/// use pim_tensor::Tensor3;
+///
+/// let mut fm: Tensor3<i64> = Tensor3::zeros(2, 4, 4);
+/// fm.set(1, 3, 0, -5);
+/// assert_eq!(fm.get(1, 3, 0), -5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3<T> {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor3<T> {
+    /// Creates a zero-filled `channels × height × width` tensor.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Self {
+            channels,
+            height,
+            width,
+            data: vec![T::ZERO; channels * height * width],
+        }
+    }
+
+    /// Creates a tensor from a `C`-major, then row-major element vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the element count does not match.
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<T>) -> Result<Self> {
+        if data.len() != channels * height * width {
+            return Err(ShapeError::new(format!(
+                "Tensor3 expects {channels}x{height}x{width}={} elements, got {}",
+                channels * height * width,
+                data.len()
+            )));
+        }
+        Ok(Self {
+            channels,
+            height,
+            width,
+            data,
+        })
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `(channels, height, width)` triple.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    #[inline]
+    fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        (c * self.height + y) * self.width + x
+    }
+
+    /// Returns the element at `(channel, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> T {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "Tensor3 index OOB"
+        );
+        self.data[self.index(c, y, x)]
+    }
+
+    /// Returns the element at `(channel, y, x)` where `y`/`x` may fall into
+    /// the (zero) padding region, i.e. be negative or beyond the edge.
+    ///
+    /// This is the access pattern of a padded convolution: out-of-image
+    /// coordinates read as `T::ZERO`.
+    #[inline]
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> T {
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            T::ZERO
+        } else {
+            self.data[self.index(c, y as usize, x as usize)]
+        }
+    }
+
+    /// Writes the element at `(channel, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, value: T) {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "Tensor3 index OOB"
+        );
+        let i = self.index(c, y, x);
+        self.data[i] = value;
+    }
+
+    /// Adds `value` to the element at `(channel, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn add_assign_at(&mut self, c: usize, y: usize, x: usize, value: T) {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "Tensor3 index OOB"
+        );
+        let i = self.index(c, y, x);
+        self.data[i] += value;
+    }
+
+    /// Immutable view of the backing storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+/// A dense `out_channels × in_channels × kernel_h × kernel_w` weight bank.
+///
+/// # Example
+///
+/// ```
+/// use pim_tensor::Tensor4;
+///
+/// let w: Tensor4<f32> = Tensor4::zeros(8, 4, 3, 3);
+/// assert_eq!(w.dims(), (8, 4, 3, 3));
+/// assert_eq!(w.get(7, 3, 2, 2), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4<T> {
+    out_channels: usize,
+    in_channels: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor4<T> {
+    /// Creates a zero-filled weight bank.
+    pub fn zeros(out_channels: usize, in_channels: usize, kernel_h: usize, kernel_w: usize) -> Self {
+        Self {
+            out_channels,
+            in_channels,
+            kernel_h,
+            kernel_w,
+            data: vec![T::ZERO; out_channels * in_channels * kernel_h * kernel_w],
+        }
+    }
+
+    /// Creates a weight bank from an `OC`-major element vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the element count does not match.
+    pub fn from_vec(
+        out_channels: usize,
+        in_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        data: Vec<T>,
+    ) -> Result<Self> {
+        let expect = out_channels * in_channels * kernel_h * kernel_w;
+        if data.len() != expect {
+            return Err(ShapeError::new(format!(
+                "Tensor4 expects {expect} elements, got {}",
+                data.len()
+            )));
+        }
+        Ok(Self {
+            out_channels,
+            in_channels,
+            kernel_h,
+            kernel_w,
+            data,
+        })
+    }
+
+    /// Number of output channels (kernels).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Number of input channels per kernel.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Kernel height.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+
+    /// Kernel width.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+
+    /// `(out_channels, in_channels, kernel_h, kernel_w)` tuple.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (
+            self.out_channels,
+            self.in_channels,
+            self.kernel_h,
+            self.kernel_w,
+        )
+    }
+
+    #[inline]
+    fn index(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> usize {
+        ((oc * self.in_channels + ic) * self.kernel_h + ky) * self.kernel_w + kx
+    }
+
+    /// Returns the weight at `(oc, ic, ky, kx)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn get(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> T {
+        assert!(
+            oc < self.out_channels
+                && ic < self.in_channels
+                && ky < self.kernel_h
+                && kx < self.kernel_w,
+            "Tensor4 index OOB"
+        );
+        self.data[self.index(oc, ic, ky, kx)]
+    }
+
+    /// Writes the weight at `(oc, ic, ky, kx)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, oc: usize, ic: usize, ky: usize, kx: usize, value: T) {
+        assert!(
+            oc < self.out_channels
+                && ic < self.in_channels
+                && ky < self.kernel_h
+                && kx < self.kernel_w,
+            "Tensor4 index OOB"
+        );
+        let i = self.index(oc, ic, ky, kx);
+        self.data[i] = value;
+    }
+
+    /// Immutable view of the backing storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor2_round_trip() {
+        let mut m: Tensor2<i32> = Tensor2::zeros(3, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                m.set(r, c, (r * 4 + c) as i32);
+            }
+        }
+        assert_eq!(m.get(2, 3), 11);
+        assert_eq!(m.row(1), &[4, 5, 6, 7]);
+        assert_eq!(m.clone().into_vec().len(), 12);
+        assert_eq!(m.dims(), (3, 4));
+    }
+
+    #[test]
+    fn tensor2_from_vec_validates_len() {
+        assert!(Tensor2::<i32>::from_vec(2, 2, vec![1, 2, 3]).is_err());
+        let m = Tensor2::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(m.get(1, 0), 3);
+    }
+
+    #[test]
+    fn tensor2_add_assign_accumulates() {
+        let mut m: Tensor2<i64> = Tensor2::zeros(1, 1);
+        m.add_assign_at(0, 0, 3);
+        m.add_assign_at(0, 0, 4);
+        assert_eq!(m.get(0, 0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "Tensor2 index OOB")]
+    fn tensor2_oob_get_panics() {
+        let m: Tensor2<i32> = Tensor2::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn tensor3_layout_is_channel_major() {
+        let t = Tensor3::from_vec(2, 2, 2, vec![0, 1, 2, 3, 10, 11, 12, 13]).unwrap();
+        assert_eq!(t.get(0, 0, 0), 0);
+        assert_eq!(t.get(0, 1, 1), 3);
+        assert_eq!(t.get(1, 0, 0), 10);
+        assert_eq!(t.get(1, 1, 0), 12);
+    }
+
+    #[test]
+    fn tensor3_padded_reads_zero_outside() {
+        let t = Tensor3::from_vec(1, 2, 2, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t.get_padded(0, -1, 0), 0);
+        assert_eq!(t.get_padded(0, 0, -1), 0);
+        assert_eq!(t.get_padded(0, 2, 0), 0);
+        assert_eq!(t.get_padded(0, 1, 1), 4);
+    }
+
+    #[test]
+    fn tensor3_from_vec_validates_len() {
+        assert!(Tensor3::<i32>::from_vec(1, 2, 2, vec![1]).is_err());
+    }
+
+    #[test]
+    fn tensor4_layout_is_oc_major() {
+        let mut w: Tensor4<i32> = Tensor4::zeros(2, 1, 2, 2);
+        w.set(1, 0, 1, 1, 99);
+        assert_eq!(w.as_slice()[7], 99);
+        assert_eq!(w.get(1, 0, 1, 1), 99);
+        assert_eq!(w.get(0, 0, 1, 1), 0);
+    }
+
+    #[test]
+    fn tensor4_from_vec_validates_len() {
+        assert!(Tensor4::<f32>::from_vec(1, 1, 3, 3, vec![0.0; 8]).is_err());
+        assert!(Tensor4::<f32>::from_vec(1, 1, 3, 3, vec![0.0; 9]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "Tensor3 index OOB")]
+    fn tensor3_oob_set_panics() {
+        let mut t: Tensor3<i32> = Tensor3::zeros(1, 1, 1);
+        t.set(0, 1, 0, 5);
+    }
+}

@@ -1,0 +1,57 @@
+//! Visualizes the Algorithm 1 search landscape for one layer: the cycle
+//! cost of every feasible parallel-window shape, and where the optimum
+//! sits (the paper's Fig. 5(b) intuition, but exhaustive).
+//!
+//! Run with: `cargo run --example design_space`
+
+use vw_sdk::pim_arch::PimArray;
+use vw_sdk::pim_cost::search::{optimal_window_with, SearchOptions};
+use vw_sdk::pim_nets::ConvLayer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // VGG-13 layer 5: the paper's example of a rectangular optimum (4x3).
+    let layer = ConvLayer::square("conv5", 56, 3, 128, 256)?;
+    let array = PimArray::new(512, 512)?;
+
+    let options = SearchOptions {
+        collect_trace: true,
+        ..SearchOptions::paper()
+    };
+    let result = optimal_window_with(&layer, array, options);
+
+    println!("layer : {layer}");
+    println!("array : {array}");
+    println!(
+        "im2col initialization: {} cycles\n",
+        result.im2col().cycles
+    );
+
+    // Show the ten best candidates.
+    let mut trace = result.trace().to_vec();
+    trace.sort_by_key(|c| c.cycles);
+    println!("top candidates (of {} feasible / {} scanned):", result.feasible(), result.evaluated());
+    println!("window   NWP  ICt  OCt   AR  AC    cycles");
+    println!("------------------------------------------");
+    for cost in trace.iter().take(10) {
+        println!(
+            "{:>6}  {:>4} {:>4} {:>4} {:>4} {:>3} {:>9}",
+            cost.window.to_string(),
+            cost.windows_in_pw,
+            cost.tiled_ic,
+            cost.tiled_oc,
+            cost.ar_cycles,
+            cost.ac_cycles,
+            cost.cycles
+        );
+    }
+
+    let best = result.best().expect("a window beats im2col here");
+    println!(
+        "\noptimum: {} with {} cycles ({:.2}x over im2col)",
+        best.window,
+        best.cycles,
+        result.im2col().cycles as f64 / best.cycles as f64
+    );
+    println!("paper Table I reports: 4x3x42x256 for this layer.");
+    Ok(())
+}

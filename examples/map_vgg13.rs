@@ -1,0 +1,23 @@
+//! Reproduces the paper's Table I for VGG-13: per-layer windows, tiled
+//! channels and total computing cycles for im2col / SDK / VW-SDK.
+//!
+//! Run with: `cargo run --example map_vgg13`
+
+use vw_sdk::pim_arch::PimArray;
+use vw_sdk::pim_nets::zoo;
+use vw_sdk::render::{render_speedups, render_table1};
+use vw_sdk::pim_mapping::MappingAlgorithm;
+use vw_sdk::Planner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let planner = Planner::new(PimArray::new(512, 512)?);
+    let report = planner.plan_network(&zoo::vgg13())?;
+
+    println!("{}", render_table1(&report));
+    println!("{}", render_speedups(&report, MappingAlgorithm::Im2col));
+    println!(
+        "Paper reference: total cycles 243736 (im2col, implied), 114697 (SDK), 77102 (VW-SDK);\n\
+         speedups 3.16x and 1.49x."
+    );
+    Ok(())
+}

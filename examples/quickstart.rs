@@ -1,0 +1,45 @@
+//! Quickstart: plan one convolutional layer on a PIM array and compare
+//! the paper's three mapping algorithms.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use vw_sdk::pim_arch::PimArray;
+use vw_sdk::pim_mapping::MappingAlgorithm;
+use vw_sdk::pim_nets::ConvLayer;
+use vw_sdk::Planner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ResNet-18 conv4 from the paper's Table I: 14x14 input, 3x3 kernel,
+    // 256 -> 256 channels, on the paper's 512x512 crossbar.
+    let layer = ConvLayer::square("conv4", 14, 3, 256, 256)?;
+    let array = PimArray::new(512, 512)?;
+
+    let planner = Planner::new(array);
+    let comparison = planner.plan_layer(&layer)?;
+
+    println!("layer : {layer}");
+    println!("array : {array}\n");
+    for plan in comparison.plans() {
+        println!(
+            "{:<8} window {:>5}  tiles ICt={:<3} OCt={:<3}  cycles {:>6}",
+            plan.algorithm().label(),
+            plan.window().to_string(),
+            plan.tiled_ic(),
+            plan.tiled_oc(),
+            plan.cycles()
+        );
+    }
+
+    let vw = comparison
+        .plan_for(MappingAlgorithm::VwSdk)
+        .expect("planner configures VW-SDK by default");
+    let im2col = comparison
+        .plan_for(MappingAlgorithm::Im2col)
+        .expect("planner configures im2col by default");
+    println!(
+        "\nVW-SDK finds the {} parallel window: {:.2}x faster than im2col.",
+        vw.window(),
+        vw.speedup_over(im2col)
+    );
+    Ok(())
+}

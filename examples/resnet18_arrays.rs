@@ -1,0 +1,49 @@
+//! Sweeps ResNet-18 over the paper's five PIM array sizes (Fig. 8(b)):
+//! how does the VW-SDK speedup scale with array size?
+//!
+//! Run with: `cargo run --example resnet18_arrays`
+
+use vw_sdk::pim_arch::presets;
+use vw_sdk::pim_mapping::MappingAlgorithm;
+use vw_sdk::pim_nets::zoo;
+use vw_sdk::pim_report::chart::GroupedBarChart;
+use vw_sdk::Planner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = zoo::resnet18_table1();
+    let mut chart = GroupedBarChart::new(
+        "ResNet-18: total speedup vs im2col by array size",
+        &["SDK", "VW-SDK"],
+    );
+
+    println!("array    | im2col cycles | SDK cycles | VW cycles | SDK x | VW x");
+    println!("---------+---------------+------------+-----------+-------+------");
+    for preset in presets::fig8b_sweep() {
+        let planner = Planner::new(preset.array);
+        let report = planner.plan_network(&network)?;
+        let im2col = report
+            .total_cycles(MappingAlgorithm::Im2col)
+            .expect("im2col is configured");
+        let sdk = report
+            .total_cycles(MappingAlgorithm::Sdk)
+            .expect("SDK is configured");
+        let vw = report
+            .total_cycles(MappingAlgorithm::VwSdk)
+            .expect("VW-SDK is configured");
+        let s_sdk = im2col as f64 / sdk as f64;
+        let s_vw = im2col as f64 / vw as f64;
+        println!(
+            "{:<8} | {:>13} | {:>10} | {:>9} | {:>5.2} | {:>5.2}",
+            preset.array.to_string(),
+            im2col,
+            sdk,
+            vw,
+            s_sdk,
+            s_vw
+        );
+        chart.add_group(preset.array.to_string(), &[s_sdk, s_vw]);
+    }
+    println!("\n{}", chart.render(40));
+    println!("Paper reference at 512x512: 4.67x (VW-SDK) and 2.77x (SDK) over im2col.");
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! The `vwsdk` command-line tool; see `vw_sdk_repro::cli` for the
+//! commands and options.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match vw_sdk_repro::cli::parse(&args).and_then(|cmd| vw_sdk_repro::cli::run(&cmd)) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("{}", vw_sdk_repro::cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! Command-line interface of the `vwsdk` binary.
+//!
+//! Hand-rolled argument parsing (the workspace's dependency policy keeps
+//! the tree small); every subcommand maps onto the library API:
+//!
+//! ```text
+//! vwsdk list
+//! vwsdk plan   --network resnet18 --array 512x512
+//! vwsdk layer  --input 56 --kernel 3 --ic 128 --oc 256 --array 512x512
+//! vwsdk search --input 56 --kernel 3 --ic 128 --oc 256 --array 512x512 --top 5
+//! vwsdk verify --network tiny --array 64x64
+//! ```
+
+use pim_arch::{presets, PimArray};
+use pim_mapping::MappingAlgorithm;
+use pim_nets::{zoo, ConvLayer};
+use pim_sim::verify::verify_plan;
+use std::fmt;
+use vw_sdk::render::{render_speedups, render_table1};
+use vw_sdk::Planner;
+
+/// Error produced by CLI parsing or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text shown for `--help` or on parse errors.
+pub const USAGE: &str = "\
+vwsdk — VW-SDK convolutional weight mapping for PIM crossbars (DATE 2022 reproduction)
+
+USAGE:
+    vwsdk <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                         List the model-zoo networks
+    plan     Plan a zoo network      (--network NAME --array RxC)
+    layer    Compare one layer       (--input N --kernel K --ic N --oc N --array RxC
+                                      [--stride S] [--padding P] [--dilation D])
+    search   Show the window search  (same layer options, plus --top N)
+    show     Draw a tile layout      (same layer options, plus --algorithm NAME)
+    verify   Run the simulator       (--network NAME --array RxC [--seed N])
+
+OPTIONS:
+    --array RxC     PIM array geometry, e.g. 512x512 (default 512x512)
+    --network NAME  Zoo network name (see `vwsdk list`)
+    --help          Show this text
+";
+
+/// A parsed command, ready to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `vwsdk list`
+    List,
+    /// `vwsdk plan`
+    Plan {
+        /// Zoo network name.
+        network: String,
+        /// Target array.
+        array: PimArray,
+    },
+    /// `vwsdk layer`
+    Layer {
+        /// The layer to compare.
+        layer: ConvLayer,
+        /// Target array.
+        array: PimArray,
+    },
+    /// `vwsdk search`
+    Search {
+        /// The layer to search.
+        layer: ConvLayer,
+        /// Target array.
+        array: PimArray,
+        /// How many best candidates to print.
+        top: usize,
+    },
+    /// `vwsdk show`
+    Show {
+        /// The layer whose layout to draw.
+        layer: ConvLayer,
+        /// Target array.
+        array: PimArray,
+        /// Algorithm whose first tile to draw.
+        algorithm: MappingAlgorithm,
+    },
+    /// `vwsdk verify`
+    Verify {
+        /// Zoo network name.
+        network: String,
+        /// Target array.
+        array: PimArray,
+        /// Data seed.
+        seed: u64,
+    },
+    /// `vwsdk --help` (or no arguments).
+    Help,
+}
+
+fn take_value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> std::result::Result<&'a str, CliError> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::new(format!("missing value for {flag}")))
+}
+
+struct LayerArgs {
+    input: Option<usize>,
+    kernel: Option<usize>,
+    ic: Option<usize>,
+    oc: Option<usize>,
+    stride: usize,
+    padding: usize,
+    dilation: usize,
+}
+
+impl LayerArgs {
+    fn new() -> Self {
+        Self {
+            input: None,
+            kernel: None,
+            ic: None,
+            oc: None,
+            stride: 1,
+            padding: 0,
+            dilation: 1,
+        }
+    }
+
+    fn build(&self) -> std::result::Result<ConvLayer, CliError> {
+        let input = self.input.ok_or_else(|| CliError::new("--input is required"))?;
+        let kernel = self.kernel.ok_or_else(|| CliError::new("--kernel is required"))?;
+        let ic = self.ic.ok_or_else(|| CliError::new("--ic is required"))?;
+        let oc = self.oc.ok_or_else(|| CliError::new("--oc is required"))?;
+        ConvLayer::builder("cli-layer")
+            .input(input, input)
+            .kernel(kernel, kernel)
+            .channels(ic, oc)
+            .stride(self.stride)
+            .padding(self.padding)
+            .dilation(self.dilation)
+            .build()
+            .map_err(|e| CliError::new(e.to_string()))
+    }
+}
+
+fn parse_usize(text: &str, flag: &str) -> std::result::Result<usize, CliError> {
+    text.parse()
+        .map_err(|_| CliError::new(format!("{flag} expects an integer, got {text:?}")))
+}
+
+/// Parses raw arguments (without the program name) into a [`Command`].
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a human-readable message for unknown
+/// commands, unknown flags, missing values or malformed numbers.
+pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(Command::Help);
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        return Ok(Command::Help);
+    }
+
+    let mut array = PimArray::new(512, 512).expect("positive default");
+    let mut network = None;
+    let mut layer_args = LayerArgs::new();
+    let mut top = 10usize;
+    let mut seed = 2024u64;
+    let mut algorithm = MappingAlgorithm::VwSdk;
+
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--array" => {
+                let v = take_value(args, &mut i, flag)?;
+                array = presets::parse_array(v).map_err(|e| CliError::new(e.to_string()))?;
+            }
+            "--network" => network = Some(take_value(args, &mut i, flag)?.to_string()),
+            "--input" => layer_args.input = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?),
+            "--kernel" => layer_args.kernel = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?),
+            "--ic" => layer_args.ic = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?),
+            "--oc" => layer_args.oc = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?),
+            "--stride" => layer_args.stride = parse_usize(take_value(args, &mut i, flag)?, flag)?,
+            "--padding" => layer_args.padding = parse_usize(take_value(args, &mut i, flag)?, flag)?,
+            "--dilation" => layer_args.dilation = parse_usize(take_value(args, &mut i, flag)?, flag)?,
+            "--top" => top = parse_usize(take_value(args, &mut i, flag)?, flag)?,
+            "--algorithm" => {
+                let v = take_value(args, &mut i, flag)?;
+                algorithm = MappingAlgorithm::all()
+                    .into_iter()
+                    .find(|a| a.label().eq_ignore_ascii_case(v))
+                    .ok_or_else(|| CliError::new(format!("unknown algorithm {v:?}")))?;
+            }
+            "--seed" => {
+                seed = take_value(args, &mut i, flag)?
+                    .parse()
+                    .map_err(|_| CliError::new("--seed expects an integer"))?
+            }
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(CliError::new(format!("unknown option {other:?}"))),
+        }
+        i += 1;
+    }
+
+    match command.as_str() {
+        "list" => Ok(Command::List),
+        "plan" => Ok(Command::Plan {
+            network: network.ok_or_else(|| CliError::new("plan requires --network"))?,
+            array,
+        }),
+        "layer" => Ok(Command::Layer {
+            layer: layer_args.build()?,
+            array,
+        }),
+        "search" => Ok(Command::Search {
+            layer: layer_args.build()?,
+            array,
+            top,
+        }),
+        "show" => Ok(Command::Show {
+            layer: layer_args.build()?,
+            array,
+            algorithm,
+        }),
+        "verify" => Ok(Command::Verify {
+            network: network.ok_or_else(|| CliError::new("verify requires --network"))?,
+            array,
+            seed,
+        }),
+        other => Err(CliError::new(format!(
+            "unknown command {other:?}; try `vwsdk --help`"
+        ))),
+    }
+}
+
+fn lookup_network(name: &str) -> std::result::Result<pim_nets::Network, CliError> {
+    zoo::by_name(name).ok_or_else(|| {
+        CliError::new(format!(
+            "unknown network {name:?}; run `vwsdk list` for the zoo"
+        ))
+    })
+}
+
+/// Executes a parsed command, returning its printable output.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown networks or failed planning.
+pub fn run(command: &Command) -> std::result::Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::List => {
+            let mut out = String::from("model zoo:\n");
+            for net in zoo::all() {
+                out.push_str(&format!(
+                    "  {:<16} {:>2} conv layers, {:>10} params\n",
+                    net.name(),
+                    net.len(),
+                    net.total_params()
+                ));
+            }
+            Ok(out)
+        }
+        Command::Plan { network, array } => {
+            let net = lookup_network(network)?;
+            let planner = Planner::new(*array);
+            let report = planner
+                .plan_network(&net)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            Ok(format!(
+                "{}\n{}",
+                render_table1(&report),
+                render_speedups(&report, MappingAlgorithm::Im2col)
+            ))
+        }
+        Command::Layer { layer, array } => {
+            let planner = Planner::with_algorithms(*array, &MappingAlgorithm::all());
+            let cmp = planner
+                .plan_layer(layer)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            let mut out = format!("{layer} on {array}\n\n");
+            for plan in cmp.plans() {
+                out.push_str(&format!(
+                    "{:<17} window {:>6}  {}x{}  cycles {:>8}\n",
+                    plan.algorithm().label(),
+                    plan.window().to_string(),
+                    plan.tiled_ic(),
+                    plan.tiled_oc(),
+                    plan.cycles()
+                ));
+            }
+            Ok(out)
+        }
+        Command::Search { layer, array, top } => {
+            let options = pim_cost::search::SearchOptions {
+                collect_trace: true,
+                ..Default::default()
+            };
+            let result = pim_cost::search::optimal_window_with(layer, *array, options);
+            let mut trace = result.trace().to_vec();
+            trace.sort_by_key(|c| c.cycles);
+            let mut out = format!(
+                "{layer} on {array}: im2col {} cycles, {} candidates ({} feasible)\n\n",
+                result.im2col().cycles,
+                result.evaluated(),
+                result.feasible()
+            );
+            for cost in trace.iter().take(*top) {
+                out.push_str(&format!(
+                    "  {:>7}  ICt {:>4}  OCt {:>4}  AR {:>3}  AC {:>2}  cycles {:>9}\n",
+                    cost.window.to_string(),
+                    cost.tiled_ic,
+                    cost.tiled_oc,
+                    cost.ar_cycles,
+                    cost.ac_cycles,
+                    cost.cycles
+                ));
+            }
+            Ok(out)
+        }
+        Command::Show { layer, array, algorithm } => {
+            let plan = algorithm
+                .plan(layer, *array)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            let layout = pim_mapping::layout::TileLayout::build(&plan, 0, 0)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            Ok(format!(
+                "{plan}\n\n{}",
+                pim_mapping::layout::render_ascii(&layout, 48, 100)
+            ))
+        }
+        Command::Verify { network, array, seed } => {
+            let net = lookup_network(network)?;
+            let mut out = format!("functional verification of {} on {array}:\n", net.name());
+            for layer in &net {
+                for alg in MappingAlgorithm::paper_trio() {
+                    let plan = alg
+                        .plan(layer, *array)
+                        .map_err(|e| CliError::new(e.to_string()))?;
+                    match verify_plan(&plan, *seed) {
+                        Ok(report) => out.push_str(&format!(
+                            "  {:<8} {:<8} {} ({} cycles)\n",
+                            layer.name(),
+                            alg.label(),
+                            if report.is_fully_consistent() { "ok" } else { "MISMATCH" },
+                            report.executed_cycles
+                        )),
+                        Err(e) => out.push_str(&format!(
+                            "  {:<8} {:<8} skipped ({e})\n",
+                            layer.name(),
+                            alg.label()
+                        )),
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(text: &str) -> Vec<String> {
+        text.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help_parse_to_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("plan --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn plan_requires_network() {
+        assert!(parse(&argv("plan")).is_err());
+        let cmd = parse(&argv("plan --network resnet18 --array 256x256")).unwrap();
+        match cmd {
+            Command::Plan { network, array } => {
+                assert_eq!(network, "resnet18");
+                assert_eq!(array.to_string(), "256x256");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn layer_parsing_builds_a_layer() {
+        let cmd = parse(&argv(
+            "layer --input 56 --kernel 3 --ic 128 --oc 256 --dilation 2 --padding 2",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Layer { layer, .. } => {
+                assert_eq!(layer.input_w(), 56);
+                assert_eq!(layer.dilation(), 2);
+                assert_eq!(layer.padding(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_error() {
+        assert!(parse(&argv("plan --network resnet18 --bogus 1")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("layer --input")).is_err());
+        assert!(parse(&argv("layer --input x")).is_err());
+    }
+
+    #[test]
+    fn list_runs() {
+        let out = run(&Command::List).unwrap();
+        assert!(out.contains("VGG-13"));
+        assert!(out.contains("ResNet-18"));
+    }
+
+    #[test]
+    fn plan_resnet_reports_table1_totals() {
+        let cmd = parse(&argv("plan --network resnet18")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("Total cycles (VW-SDK): 4294"), "{out}");
+        assert!(out.contains("4.67x"), "{out}");
+    }
+
+    #[test]
+    fn layer_command_lists_all_algorithms() {
+        let cmd = parse(&argv("layer --input 14 --kernel 3 --ic 256 --oc 256")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("VW-SDK"));
+        assert!(out.contains("504"));
+    }
+
+    #[test]
+    fn search_command_prints_top_candidates() {
+        let cmd = parse(&argv(
+            "search --input 14 --kernel 3 --ic 256 --oc 256 --top 3",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("4x3"), "{out}");
+        assert_eq!(out.lines().filter(|l| l.contains("cycles ")).count(), 3);
+    }
+
+    #[test]
+    fn verify_command_checks_tiny_network() {
+        let cmd = parse(&argv("verify --network tiny --array 64x64 --seed 7")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("ok"));
+        assert!(!out.contains("MISMATCH"));
+    }
+
+    #[test]
+    fn show_command_draws_a_layout() {
+        let cmd = parse(&argv(
+            "show --input 8 --kernel 3 --ic 1 --oc 2 --array 16x16 --algorithm vw-sdk",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains('#'), "{out}");
+        assert!(parse(&argv("show --input 8 --kernel 3 --ic 1 --oc 2 --algorithm bogus")).is_err());
+    }
+
+    #[test]
+    fn unknown_network_reports_cleanly() {
+        let cmd = Command::Plan {
+            network: "nonexistent".into(),
+            array: PimArray::new(64, 64).unwrap(),
+        };
+        let err = run(&cmd).unwrap_err();
+        assert!(err.to_string().contains("vwsdk list"));
+    }
+}

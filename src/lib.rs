@@ -1,0 +1,36 @@
+//! Umbrella crate for the VW-SDK reproduction workspace.
+//!
+//! This package exists to host the repository-level `examples/` and
+//! `tests/` directories required by the project layout; the actual library
+//! surface lives in the [`vw_sdk`] facade crate and the `pim-*` substrate
+//! crates, all of which are re-exported here for convenience.
+//!
+//! ```
+//! use vw_sdk_repro::prelude::*;
+//!
+//! let array = PimArray::new(512, 512).unwrap();
+//! assert_eq!(array.rows(), 512);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use pim_arch;
+pub use pim_chip;
+pub use pim_cost;
+pub use pim_mapping;
+pub use pim_nets;
+pub use pim_report;
+pub use pim_sim;
+pub use pim_tensor;
+pub use vw_sdk;
+
+/// Commonly used types, re-exported in one place.
+pub mod prelude {
+    pub use pim_arch::PimArray;
+    pub use pim_cost::window::ParallelWindow;
+    pub use pim_mapping::{MappingAlgorithm, MappingPlan};
+    pub use pim_nets::{ConvLayer, Network};
+    pub use vw_sdk::Planner;
+}

@@ -1,0 +1,90 @@
+//! Cross-crate functional tests: scaled-down versions of the paper's
+//! networks execute on the crossbar simulator and reproduce the reference
+//! convolution exactly, layer by layer, under every mapping algorithm.
+
+use vw_sdk_repro::pim_arch::PimArray;
+use vw_sdk_repro::pim_mapping::MappingAlgorithm;
+use vw_sdk_repro::pim_nets::{ConvLayer, Network};
+use vw_sdk_repro::pim_sim::verify::verify_plan;
+
+/// A miniature VGG-13: same layer topology, 8x smaller channels and
+/// spatial extents, so the full functional simulation stays fast.
+fn mini_vgg13() -> Network {
+    let layers = [
+        (28, 3, 1, 8),
+        (28, 3, 8, 8),
+        (14, 3, 8, 16),
+        (14, 3, 16, 16),
+        (7, 3, 16, 32),
+        (7, 3, 32, 32),
+    ];
+    let mut net = Network::new("mini-vgg13");
+    for (i, (input, k, ic, oc)) in layers.into_iter().enumerate() {
+        net.push(ConvLayer::square(format!("conv{}", i + 1), input, k, ic, oc).unwrap());
+    }
+    net
+}
+
+/// A miniature ResNet-18 stem + stages, including the 7x7 kernel.
+fn mini_resnet18() -> Network {
+    let mut net = Network::new("mini-resnet18");
+    net.push(ConvLayer::square("conv1", 14, 7, 1, 8).unwrap());
+    net.push(ConvLayer::square("conv2", 7, 3, 8, 8).unwrap());
+    net.push(ConvLayer::square("conv3", 7, 3, 16, 16).unwrap());
+    net.push(ConvLayer::square("conv4", 7, 3, 32, 32).unwrap());
+    net
+}
+
+fn verify_network(net: &Network, array: PimArray) {
+    for (i, layer) in net.iter().enumerate() {
+        for alg in MappingAlgorithm::paper_trio() {
+            let plan = alg.plan(layer, array).unwrap();
+            let report = verify_plan(&plan, 0xC0FFEE + i as u64).unwrap();
+            assert!(
+                report.is_fully_consistent(),
+                "{} / {} / {}: {:?}",
+                net.name(),
+                layer.name(),
+                alg,
+                report
+            );
+        }
+    }
+}
+
+#[test]
+fn mini_vgg13_is_functionally_exact_on_64x64() {
+    verify_network(&mini_vgg13(), PimArray::new(64, 64).unwrap());
+}
+
+#[test]
+fn mini_vgg13_is_functionally_exact_on_rectangular_array() {
+    verify_network(&mini_vgg13(), PimArray::new(96, 48).unwrap());
+}
+
+#[test]
+fn mini_resnet18_is_functionally_exact() {
+    verify_network(&mini_resnet18(), PimArray::new(80, 64).unwrap());
+}
+
+#[test]
+fn tiny_array_forces_heavy_tiling_and_still_verifies() {
+    // A 20x12 array forces AR and AC cycles simultaneously on most
+    // layers — the hardest layout path.
+    let net = mini_vgg13();
+    verify_network(&net, PimArray::new(20, 12).unwrap());
+}
+
+#[test]
+fn full_resnet18_shapes_verify_on_one_representative_layer() {
+    // One full-scale layer (the paper's conv4, 14x14x256x256) is small
+    // enough spatially to simulate exactly at full channel width.
+    let layer = ConvLayer::square("conv4", 14, 3, 256, 256).unwrap();
+    let plan = MappingAlgorithm::VwSdk
+        .plan(&layer, PimArray::new(512, 512).unwrap())
+        .unwrap();
+    assert_eq!(plan.cycles(), 504);
+    let report = verify_plan(&plan, 7).unwrap();
+    assert!(report.is_fully_consistent(), "{report:?}");
+    assert_eq!(report.elements, 256 * 144);
+}

@@ -1,0 +1,132 @@
+//! Integration test pinning the reproduction against every row of the
+//! paper's Table I (the central result).
+
+use vw_sdk_repro::pim_arch::PimArray;
+use vw_sdk_repro::pim_mapping::MappingAlgorithm;
+use vw_sdk_repro::pim_nets::zoo;
+use vw_sdk_repro::vw_sdk::Planner;
+
+fn planner() -> Planner {
+    Planner::new(PimArray::new(512, 512).expect("positive"))
+}
+
+#[test]
+fn vgg13_per_layer_vw_cycles() {
+    // Hand-derived from eq. (8); these sum to the paper's 77102.
+    let expected = [
+        6_216, 24_642, 6_050, 12_100, 5_832, 10_206, 3_380, 6_084, 1_296, 1_296,
+    ];
+    let report = planner().plan_network(&zoo::vgg13()).unwrap();
+    for (cmp, expect) in report.layers().iter().zip(expected) {
+        let plan = cmp.plan_for(MappingAlgorithm::VwSdk).unwrap();
+        assert_eq!(plan.cycles(), expect, "layer {}", cmp.layer().name());
+    }
+    assert_eq!(report.total_cycles(MappingAlgorithm::VwSdk), Some(77_102));
+}
+
+#[test]
+fn vgg13_per_layer_sdk_cycles() {
+    let expected = [
+        12_321, 24_642, 6_050, 36_300, 8_748, 14_580, 3_380, 6_084, 1_296, 1_296,
+    ];
+    let report = planner().plan_network(&zoo::vgg13()).unwrap();
+    for (cmp, expect) in report.layers().iter().zip(expected) {
+        let plan = cmp.plan_for(MappingAlgorithm::Sdk).unwrap();
+        assert_eq!(plan.cycles(), expect, "layer {}", cmp.layer().name());
+    }
+    assert_eq!(report.total_cycles(MappingAlgorithm::Sdk), Some(114_697));
+}
+
+#[test]
+fn vgg13_per_layer_im2col_cycles() {
+    let expected = [
+        49_284, 98_568, 24_200, 36_300, 8_748, 14_580, 3_380, 6_084, 1_296, 1_296,
+    ];
+    let report = planner().plan_network(&zoo::vgg13()).unwrap();
+    for (cmp, expect) in report.layers().iter().zip(expected) {
+        let plan = cmp.plan_for(MappingAlgorithm::Im2col).unwrap();
+        assert_eq!(plan.cycles(), expect, "layer {}", cmp.layer().name());
+    }
+    assert_eq!(report.total_cycles(MappingAlgorithm::Im2col), Some(243_736));
+}
+
+#[test]
+fn resnet18_per_layer_cycles() {
+    let report = planner().plan_network(&zoo::resnet18_table1()).unwrap();
+    let vw_expected = [1_431, 1_458, 676, 504, 225];
+    let sdk_expected = [2_809, 1_458, 2_028, 720, 225];
+    let im2col_expected = [11_236, 5_832, 2_028, 720, 225];
+    for (i, cmp) in report.layers().iter().enumerate() {
+        assert_eq!(
+            cmp.plan_for(MappingAlgorithm::VwSdk).unwrap().cycles(),
+            vw_expected[i]
+        );
+        assert_eq!(
+            cmp.plan_for(MappingAlgorithm::Sdk).unwrap().cycles(),
+            sdk_expected[i]
+        );
+        assert_eq!(
+            cmp.plan_for(MappingAlgorithm::Im2col).unwrap().cycles(),
+            im2col_expected[i]
+        );
+    }
+    assert_eq!(report.total_cycles(MappingAlgorithm::VwSdk), Some(4_294));
+    assert_eq!(report.total_cycles(MappingAlgorithm::Sdk), Some(7_240));
+    assert_eq!(report.total_cycles(MappingAlgorithm::Im2col), Some(20_041));
+}
+
+#[test]
+fn table1_window_descriptors() {
+    let report = planner().plan_network(&zoo::resnet18_table1()).unwrap();
+    let descriptors: Vec<String> = report
+        .layers()
+        .iter()
+        .map(|c| c.plan_for(MappingAlgorithm::VwSdk).unwrap().descriptor())
+        .collect();
+    assert_eq!(
+        descriptors,
+        vec![
+            "10x8x3x64",
+            "4x4x32x64",
+            "4x4x32x128",
+            "4x3x42x256",
+            "3x3x512x512"
+        ]
+    );
+}
+
+#[test]
+fn headline_speedups() {
+    let resnet = planner().plan_network(&zoo::resnet18_table1()).unwrap();
+    assert!(
+        (resnet
+            .speedup(MappingAlgorithm::VwSdk, MappingAlgorithm::Im2col)
+            .unwrap()
+            - 4.67)
+            .abs()
+            < 0.01
+    );
+    assert!(
+        (resnet
+            .speedup(MappingAlgorithm::VwSdk, MappingAlgorithm::Sdk)
+            .unwrap()
+            - 1.69)
+            .abs()
+            < 0.01
+    );
+    let vgg = planner().plan_network(&zoo::vgg13()).unwrap();
+    assert!(
+        (vgg.speedup(MappingAlgorithm::VwSdk, MappingAlgorithm::Im2col)
+            .unwrap()
+            - 3.16)
+            .abs()
+            < 0.01
+    );
+    assert!(
+        (vgg.speedup(MappingAlgorithm::VwSdk, MappingAlgorithm::Sdk)
+            .unwrap()
+            - 1.49)
+            .abs()
+            < 0.01
+    );
+}
