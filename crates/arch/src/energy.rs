@@ -52,7 +52,12 @@ impl EnergyModel {
 
     /// Energy of one computing cycle with the given numbers of active rows,
     /// active columns and programmed (used) cells, in picojoules.
-    pub fn cycle_energy_pj(&self, active_rows: usize, active_cols: usize, used_cells: usize) -> f64 {
+    pub fn cycle_energy_pj(
+        &self,
+        active_rows: usize,
+        active_cols: usize,
+        used_cells: usize,
+    ) -> f64 {
         let conversions = self.conversion_energy_pj(active_rows, active_cols);
         conversions + used_cells as f64 * self.cell_pj + active_cols as f64 * self.digital_pj
     }
@@ -63,7 +68,12 @@ impl EnergyModel {
     }
 
     /// Fraction of cycle energy spent on conversions, in `[0, 1]`.
-    pub fn conversion_fraction(&self, active_rows: usize, active_cols: usize, used_cells: usize) -> f64 {
+    pub fn conversion_fraction(
+        &self,
+        active_rows: usize,
+        active_cols: usize,
+        used_cells: usize,
+    ) -> f64 {
         let total = self.cycle_energy_pj(active_rows, active_cols, used_cells);
         if total == 0.0 {
             0.0

@@ -90,9 +90,7 @@ pub fn parse_array(text: &str) -> Result<PimArray> {
         .and_then(|s| s.trim().parse::<usize>().ok())
         .ok_or_else(|| crate::ArchError::new(format!("cannot parse cols in {text:?}")))?;
     if it.next().is_some() {
-        return Err(crate::ArchError::new(format!(
-            "expected RxC, got {text:?}"
-        )));
+        return Err(crate::ArchError::new(format!("expected RxC, got {text:?}")));
     }
     PimArray::new(rows, cols)
 }
@@ -141,6 +139,9 @@ mod tests {
 
     #[test]
     fn parse_accepts_uppercase_and_spaces() {
-        assert_eq!(parse_array(" 128X256 ").unwrap(), PimArray::new(128, 256).unwrap());
+        assert_eq!(
+            parse_array(" 128X256 ").unwrap(),
+            PimArray::new(128, 256).unwrap()
+        );
     }
 }

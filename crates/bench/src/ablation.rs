@@ -2,12 +2,12 @@
 //! channel tiling) buys how much, and what the search pruning saves.
 
 use crate::array512;
-use pim_cost::search::{self, SearchOptions};
+use pim_cost::search::SearchOptions;
 use pim_mapping::MappingAlgorithm;
 use pim_nets::{zoo, Network};
 use pim_report::fmt_speedup;
 use pim_report::table::{Align, TextTable};
-use vw_sdk::Planner;
+use vw_sdk::PlanningEngine;
 
 /// The algorithm set compared in the ablation table, in presentation
 /// order.
@@ -23,10 +23,22 @@ pub fn ablation_algorithms() -> [MappingAlgorithm; 7] {
     ]
 }
 
+/// An engine configured for the ablation comparison, planning with one
+/// worker per core.
+pub fn ablation_engine() -> PlanningEngine {
+    PlanningEngine::with_algorithms(&ablation_algorithms()).with_jobs(0)
+}
+
 /// Total cycles of every ablation algorithm on one network (512×512).
 pub fn totals(network: &Network) -> Vec<(MappingAlgorithm, u64)> {
-    let planner = Planner::with_algorithms(array512(), &ablation_algorithms());
-    let report = planner.plan_network(network).expect("planning is total");
+    totals_with(&ablation_engine(), network)
+}
+
+/// [`totals`] through an existing engine (sharing its plan cache).
+pub fn totals_with(engine: &PlanningEngine, network: &Network) -> Vec<(MappingAlgorithm, u64)> {
+    let report = engine
+        .plan_network(network, array512())
+        .expect("planning is total");
     ablation_algorithms()
         .into_iter()
         .map(|alg| (alg, report.total_cycles(alg).expect("configured")))
@@ -34,23 +46,33 @@ pub fn totals(network: &Network) -> Vec<(MappingAlgorithm, u64)> {
 }
 
 /// Search-pruning statistics (A3): candidates evaluated with and without
-/// pruning, summed over a network's layers.
+/// pruning, summed over a network's layers. Uses the engine's search
+/// cache, so repeated shapes are counted without re-searching.
 pub fn pruning_stats(network: &Network) -> (usize, usize) {
+    pruning_stats_with(&ablation_engine(), network)
+}
+
+/// [`pruning_stats`] through an existing engine's search cache.
+pub fn pruning_stats_with(engine: &PlanningEngine, network: &Network) -> (usize, usize) {
     let mut full = 0;
     let mut pruned = 0;
     for layer in network {
-        full += search::optimal_window_with(layer, array512(), SearchOptions::paper()).evaluated();
-        pruned +=
-            search::optimal_window_with(layer, array512(), SearchOptions::pruned()).evaluated();
+        full += engine
+            .search(layer, array512(), SearchOptions::paper())
+            .evaluated();
+        pruned += engine
+            .search(layer, array512(), SearchOptions::pruned())
+            .evaluated();
     }
     (full, pruned)
 }
 
 /// The full printable ablation report.
 pub fn report() -> String {
+    let engine = ablation_engine();
     let mut out = String::from("== Ablations A1-A3 (512x512 array) ==\n\n");
     for network in [zoo::vgg13(), zoo::resnet18_table1()] {
-        let rows = totals(&network);
+        let rows = totals_with(&engine, &network);
         let im2col = rows[0].1 as f64;
         let mut table = TextTable::new(&["algorithm", "total cycles", "speedup vs im2col"]);
         table.align(1, Align::Right);
@@ -73,12 +95,17 @@ pub fn report() -> String {
     );
 
     out.push_str("== A3: search-space pruning (never changes the optimum) ==\n\n");
-    let mut table = TextTable::new(&["network", "candidates (full)", "candidates (pruned)", "saved"]);
+    let mut table = TextTable::new(&[
+        "network",
+        "candidates (full)",
+        "candidates (pruned)",
+        "saved",
+    ]);
     for c in 1..4 {
         table.align(c, Align::Right);
     }
     for network in [zoo::vgg13(), zoo::resnet18_table1()] {
-        let (full, pruned) = pruning_stats(&network);
+        let (full, pruned) = pruning_stats_with(&engine, &network);
         table.add_row(&[
             network.name().to_string(),
             full.to_string(),

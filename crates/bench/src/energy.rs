@@ -72,7 +72,10 @@ pub fn plan_energy(
 
 /// Network-level energy totals per algorithm: `(algorithm, total energy
 /// in microjoules, ADC conversions, conversion fraction)`.
-pub fn network_energy(network: &Network, activity: Activity) -> Vec<(MappingAlgorithm, f64, u64, f64)> {
+pub fn network_energy(
+    network: &Network,
+    activity: Activity,
+) -> Vec<(MappingAlgorithm, f64, u64, f64)> {
     let model = EnergyModel::isaac_like();
     MappingAlgorithm::paper_trio()
         .into_iter()
@@ -102,8 +105,14 @@ pub fn network_energy(network: &Network, activity: Activity) -> Vec<(MappingAlgo
 pub fn report() -> String {
     let mut out = String::from("== A5: energy accounting (512x512, ISAAC-like constants) ==\n\n");
     for (activity, label) in [
-        (Activity::WholeArray, "whole-array conversion (paper premise)"),
-        (Activity::ActiveOnly, "active-only conversion (gated periphery)"),
+        (
+            Activity::WholeArray,
+            "whole-array conversion (paper premise)",
+        ),
+        (
+            Activity::ActiveOnly,
+            "active-only conversion (gated periphery)",
+        ),
     ] {
         out.push_str(&format!("-- {label} --\n\n"));
         for network in [zoo::vgg13(), zoo::resnet18_table1()] {
@@ -165,7 +174,10 @@ mod tests {
         // rather than exact.
         let saving = im2col / vw;
         let cycle_speedup = 20_041.0 / 4_294.0;
-        assert!((saving - cycle_speedup).abs() / cycle_speedup < 0.01, "saving {saving}");
+        assert!(
+            (saving - cycle_speedup).abs() / cycle_speedup < 0.01,
+            "saving {saving}"
+        );
     }
 
     #[test]

@@ -44,8 +44,7 @@ pub fn points() -> Vec<CapacityPoint> {
 
 /// The full printable Fig. 4 reproduction.
 pub fn report() -> String {
-    let mut out =
-        String::from("== Fig. 4: computable channel size per cycle (3x3 kernels) ==\n\n");
+    let mut out = String::from("== Fig. 4: computable channel size per cycle (3x3 kernels) ==\n\n");
     let mut table = TextTable::new(&["array", "mapping", "max IC/cycle", "max OC/cycle"]);
     table.align(2, Align::Right);
     table.align(3, Align::Right);

@@ -136,7 +136,13 @@ mod tests {
         let text = part_a();
         // The paper's Fig. 5(a): 4 / 2 / 4 cycles.
         let lines: Vec<&str> = text.lines().collect();
-        let row = |needle: &str| lines.iter().find(|l| l.contains(needle)).unwrap().to_string();
+        let row = |needle: &str| {
+            lines
+                .iter()
+                .find(|l| l.contains(needle))
+                .unwrap()
+                .to_string()
+        };
         assert!(row("im2col").trim_end().ends_with('4'));
         assert!(row("VW 4x3").trim_end().ends_with('2'));
         assert!(row("VW 4x4").trim_end().ends_with('4'));
@@ -170,6 +176,10 @@ mod tests {
     fn small_ifm_penalizes_large_windows() {
         let first = part_b_rows()[0]; // IFM 7
         assert!(first.s4x3 > 1.0);
-        assert!(first.s4x4 < 1.0, "4x4 should lose at IFM 7, got {}", first.s4x4);
+        assert!(
+            first.s4x4 < 1.0,
+            "4x4 should lose at IFM 7, got {}",
+            first.s4x4
+        );
     }
 }

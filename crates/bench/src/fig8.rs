@@ -6,8 +6,8 @@ use pim_arch::presets;
 use pim_mapping::MappingAlgorithm;
 use pim_nets::{zoo, Network};
 use pim_report::chart::GroupedBarChart;
-use pim_report::table::{Align, TextTable};
 use pim_report::fmt_f64;
+use pim_report::table::{Align, TextTable};
 use vw_sdk::Planner;
 
 fn networks() -> [Network; 2] {
@@ -84,10 +84,10 @@ pub fn report() -> String {
 
     out.push_str("== Fig. 8(b): total speedup vs im2col across array sizes ==\n\n");
     for network in networks() {
-        let mut chart =
-            GroupedBarChart::new(format!("{} (bars: total speedup)", network.name()), &[
-                "SDK", "VW-SDK",
-            ]);
+        let mut chart = GroupedBarChart::new(
+            format!("{} (bars: total speedup)", network.name()),
+            &["SDK", "VW-SDK"],
+        );
         let mut table = TextTable::new(&["array", "SDK", "VW-SDK (Ours)"]);
         table.align(1, Align::Right);
         table.align(2, Align::Right);
@@ -95,7 +95,12 @@ pub fn report() -> String {
             table.add_row(&[label.clone(), fmt_f64(sdk, 2), fmt_f64(vw, 2)]);
             chart.add_group(label, &[sdk, vw]);
         }
-        out.push_str(&format!("{}\n{}\n{}\n", network.name(), table.render(), chart.render(40)));
+        out.push_str(&format!(
+            "{}\n{}\n{}\n",
+            network.name(),
+            table.render(),
+            chart.render(40)
+        ));
     }
     out
 }
@@ -149,7 +154,11 @@ mod tests {
     fn vw_dominates_sdk_on_every_array() {
         for network in networks() {
             for (label, sdk, vw) in part_b_series(&network) {
-                assert!(vw >= sdk, "{}: VW {vw} < SDK {sdk} on {label}", network.name());
+                assert!(
+                    vw >= sdk,
+                    "{}: VW {vw} < SDK {sdk} on {label}",
+                    network.name()
+                );
             }
         }
     }

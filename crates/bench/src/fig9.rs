@@ -73,7 +73,12 @@ pub fn report() -> String {
             }
             t.add_row(&row);
         }
-        out.push_str(&format!("layer {} ({})\n{}\n", layer_index + 1, layer, t.render()));
+        out.push_str(&format!(
+            "layer {} ({})\n{}\n",
+            layer_index + 1,
+            layer,
+            t.render()
+        ));
     }
     out
 }

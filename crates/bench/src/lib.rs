@@ -18,7 +18,7 @@
 //! | [`energy`] | A5: energy/conversion accounting |
 //! | [`precision`] | A6: device-precision sweep |
 //! | [`chip`] | A7: chip-scale pipelined deployment |
-//! | [`sweep`] | A4: extra networks × array sizes (crossbeam-parallel) |
+//! | [`sweep`] | A4: extra networks × array sizes (via the parallel, memoized `PlanningEngine`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,4 +46,3 @@ pub fn array512() -> PimArray {
 pub fn array512x256() -> PimArray {
     PimArray::new(512, 256).expect("positive dimensions")
 }
-

@@ -8,9 +8,7 @@
 
 use crate::array512;
 use pim_arch::device::{CellDevice, DacSpec};
-use pim_cost::precision::{
-    optimal_window_quantized, quantized_im2col_cycles, PrecisionConfig,
-};
+use pim_cost::precision::{optimal_window_quantized, quantized_im2col_cycles, PrecisionConfig};
 use pim_nets::{zoo, Network};
 use pim_report::fmt_speedup;
 use pim_report::table::{Align, TextTable};
@@ -126,7 +124,13 @@ mod tests {
     fn vw_never_loses_at_any_precision() {
         for network in [zoo::vgg13(), zoo::resnet18_table1()] {
             for row in sweep(&network) {
-                assert!(row.vw <= row.im2col, "bits {}: {} > {}", row.weight_bits, row.vw, row.im2col);
+                assert!(
+                    row.vw <= row.im2col,
+                    "bits {}: {} > {}",
+                    row.weight_bits,
+                    row.vw,
+                    row.im2col
+                );
             }
         }
     }

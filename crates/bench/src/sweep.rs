@@ -1,12 +1,12 @@
-//! Extension A4: the full zoo × array-size sweep, run in parallel with
-//! crossbeam scoped threads.
+//! Extension A4: the full zoo × array-size sweep, run through the
+//! parallel, memoized [`PlanningEngine`].
 
 use pim_arch::presets;
 use pim_mapping::MappingAlgorithm;
 use pim_nets::zoo;
 use pim_report::fmt_speedup;
 use pim_report::table::{Align, TextTable};
-use vw_sdk::Planner;
+use vw_sdk::PlanningEngine;
 
 /// One sweep cell: network × array → total cycles per algorithm.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,49 +23,46 @@ pub struct SweepCell {
     pub vw: u64,
 }
 
-/// Runs the sweep over every zoo network and every Fig. 8(b) array size,
-/// parallelized across networks with crossbeam scoped threads.
+/// Runs the sweep over every zoo network and every Fig. 8(b) array size
+/// on a fresh engine with one worker per core.
 pub fn run() -> Vec<SweepCell> {
+    run_with(&PlanningEngine::new().with_jobs(0))
+}
+
+/// Runs the sweep through an existing engine (sharing its plan cache —
+/// repeated shapes across networks and re-runs become hash lookups).
+pub fn run_with(engine: &PlanningEngine) -> Vec<SweepCell> {
     let networks = zoo::all();
-    let arrays = presets::fig8b_sweep();
-    let mut cells: Vec<SweepCell> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = networks
-            .iter()
-            .map(|network| {
-                let arrays = &arrays;
-                scope.spawn(move |_| {
-                    let mut rows = Vec::new();
-                    for preset in arrays {
-                        let planner = Planner::new(preset.array);
-                        let report = planner.plan_network(network).expect("planning is total");
-                        rows.push(SweepCell {
-                            network: network.name().to_string(),
-                            array: preset.array.to_string(),
-                            im2col: report
-                                .total_cycles(MappingAlgorithm::Im2col)
-                                .expect("configured"),
-                            sdk: report.total_cycles(MappingAlgorithm::Sdk).expect("configured"),
-                            vw: report
-                                .total_cycles(MappingAlgorithm::VwSdk)
-                                .expect("configured"),
-                        });
-                    }
-                    rows
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
+    let arrays: Vec<_> = presets::fig8b_sweep()
+        .iter()
+        .map(|preset| preset.array)
+        .collect();
+    let reports = engine
+        .sweep_arrays(&networks, &arrays)
+        .expect("planning is total");
+    let mut cells: Vec<SweepCell> = reports
+        .iter()
+        .map(|report| SweepCell {
+            network: report.network_name().to_string(),
+            array: report.array().to_string(),
+            im2col: report
+                .total_cycles(MappingAlgorithm::Im2col)
+                .expect("configured"),
+            sdk: report
+                .total_cycles(MappingAlgorithm::Sdk)
+                .expect("configured"),
+            vw: report
+                .total_cycles(MappingAlgorithm::VwSdk)
+                .expect("configured"),
+        })
+        .collect();
     cells.sort_by(|a, b| (&a.network, &a.array).cmp(&(&b.network, &b.array)));
     cells
 }
 
 /// The full printable sweep report.
 pub fn report() -> String {
+    let engine = PlanningEngine::new().with_jobs(0);
     let mut out = String::from("== A4: zoo-wide sweep (total cycles and VW-SDK speedup) ==\n\n");
     let mut table = TextTable::new(&[
         "network",
@@ -79,7 +76,7 @@ pub fn report() -> String {
     for c in 2..7 {
         table.align(c, Align::Right);
     }
-    for cell in run() {
+    for cell in run_with(&engine) {
         table.add_row(&[
             cell.network.clone(),
             cell.array.clone(),
@@ -91,6 +88,7 @@ pub fn report() -> String {
         ]);
     }
     out.push_str(&table.render());
+    out.push_str(&format!("\nplanning cache: {}\n", engine.stats()));
     out.push_str(
         "\nNetworks beyond the paper's pair (VGG-16, AlexNet, LeNet-5,\n\
          MobileNet-like with depthwise groups, dilated-context with\n\
@@ -139,5 +137,17 @@ mod tests {
     #[test]
     fn parallel_run_is_deterministic() {
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn warm_engine_rerun_is_pure_cache_and_identical() {
+        let engine = PlanningEngine::new().with_jobs(0);
+        let cold = run_with(&engine);
+        let misses_after_cold = engine.stats().plan_misses;
+        let warm = run_with(&engine);
+        assert_eq!(cold, warm);
+        // The second sweep computed nothing new.
+        assert_eq!(engine.stats().plan_misses, misses_after_cold);
+        assert!(engine.stats().plan_hits >= misses_after_cold);
     }
 }

@@ -44,10 +44,19 @@ mod tests {
     #[test]
     fn totals_match_paper() {
         let reports = reports();
-        assert_eq!(reports[0].total_cycles(MappingAlgorithm::Sdk), Some(114_697));
-        assert_eq!(reports[0].total_cycles(MappingAlgorithm::VwSdk), Some(77_102));
+        assert_eq!(
+            reports[0].total_cycles(MappingAlgorithm::Sdk),
+            Some(114_697)
+        );
+        assert_eq!(
+            reports[0].total_cycles(MappingAlgorithm::VwSdk),
+            Some(77_102)
+        );
         assert_eq!(reports[1].total_cycles(MappingAlgorithm::Sdk), Some(7_240));
-        assert_eq!(reports[1].total_cycles(MappingAlgorithm::VwSdk), Some(4_294));
+        assert_eq!(
+            reports[1].total_cycles(MappingAlgorithm::VwSdk),
+            Some(4_294)
+        );
     }
 
     #[test]
@@ -55,7 +64,7 @@ mod tests {
         let reports = reports();
         let vgg_expect = [
             "10x3x3x64",
-            "4x4x32x64",  // paper prints ICt=64 (typo); see report() note
+            "4x4x32x64", // paper prints ICt=64 (typo); see report() note
             "4x4x32x128",
             "4x4x32x128",
             "4x3x42x256",
@@ -88,7 +97,12 @@ mod tests {
         let vgg_sdk: Vec<String> = reports[0]
             .layers()
             .iter()
-            .map(|c| c.plan_for(MappingAlgorithm::Sdk).unwrap().window().to_string())
+            .map(|c| {
+                c.plan_for(MappingAlgorithm::Sdk)
+                    .unwrap()
+                    .window()
+                    .to_string()
+            })
             .collect();
         assert_eq!(
             vgg_sdk,
@@ -97,7 +111,12 @@ mod tests {
         let resnet_sdk: Vec<String> = reports[1]
             .layers()
             .iter()
-            .map(|c| c.plan_for(MappingAlgorithm::Sdk).unwrap().window().to_string())
+            .map(|c| {
+                c.plan_for(MappingAlgorithm::Sdk)
+                    .unwrap()
+                    .window()
+                    .to_string()
+            })
             .collect();
         assert_eq!(resnet_sdk, vec!["8x8", "4x4", "3x3", "3x3", "3x3"]);
     }

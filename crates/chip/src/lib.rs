@@ -102,11 +102,7 @@ impl ChipConfig {
     /// A PipeLayer-like configuration: 128 crossbars of 512×512 with an
     /// expensive (2000-cycle) reload.
     pub fn pipelayer_like() -> Self {
-        Self::new(
-            128,
-            PimArray::new(512, 512).expect("positive"),
-            2_000,
-        )
+        Self::new(128, PimArray::new(512, 512).expect("positive"), 2_000)
     }
 
     /// Number of arrays on the chip.

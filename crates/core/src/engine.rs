@@ -1,0 +1,486 @@
+//! The parallel, memoizing planning engine.
+//!
+//! [`Planner`](crate::Planner) answers "plan this network on this array"
+//! one layer at a time. The [`PlanningEngine`] is the substrate beneath
+//! it, built for the batch workloads the roadmap cares about — zoo-wide
+//! sweeps, array design-space exploration, adaptive-window studies à la
+//! TetrisG-SDK — where the same layer shapes are planned over and over:
+//!
+//! * **Memoization** — plans are cached by the canonical
+//!   `(shape, array, algorithm)` key ([`pim_nets::LayerShape`] carries no
+//!   layer name), and Algorithm 1 searches by `(shape, array, options)`
+//!   in a [`SearchCache`]. VGG-13 and ResNet-18 repeat shapes heavily, so
+//!   a network plan touches far fewer distinct keys than layers.
+//! * **Parallelism** — layer planning fans out across
+//!   `std::thread::scope` workers (`jobs` of them; the dependency policy
+//!   stays std-only). Work is claimed from an atomic counter and results
+//!   are reassembled by index, so output order — and therefore every
+//!   report — is byte-identical to the sequential path no matter the
+//!   interleaving.
+//! * **Batching** — [`plan_networks`](PlanningEngine::plan_networks) and
+//!   [`sweep_arrays`](PlanningEngine::sweep_arrays) plan whole workloads
+//!   through one shared cache, which is what the `vw-sdk-bench` sweep,
+//!   the ablation driver and the `vwsdk sweep` CLI subcommand consume.
+//!
+//! # Example
+//!
+//! ```
+//! use vw_sdk::{PlanningEngine, pim_arch::PimArray, pim_nets::zoo};
+//! use vw_sdk::pim_mapping::MappingAlgorithm;
+//!
+//! let engine = PlanningEngine::new().with_jobs(4);
+//! let arrays = [PimArray::new(512, 512)?, PimArray::new(256, 256)?];
+//! let reports = engine.sweep_arrays(&[zoo::vgg13(), zoo::resnet18_table1()], &arrays)?;
+//!
+//! // Table I totals on the 512x512 array, straight from the batch API.
+//! assert_eq!(reports[0].total_cycles(MappingAlgorithm::VwSdk), Some(77_102));
+//! assert_eq!(reports[2].total_cycles(MappingAlgorithm::VwSdk), Some(4_294));
+//! // VGG-13 repeats layer shapes, so the plan cache answered some layers.
+//! assert!(engine.stats().plan_hits > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::planner::{LayerComparison, NetworkReport};
+use crate::{Result, VwSdkError};
+use pim_arch::PimArray;
+use pim_cost::memo::SearchCache;
+use pim_cost::search::{SearchOptions, SearchResult};
+use pim_mapping::{MappingAlgorithm, MappingPlan};
+use pim_nets::{ConvLayer, LayerShape, Network};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Memo key of one plan: everything [`MappingAlgorithm::plan`] depends
+/// on except the layer's name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    shape: LayerShape,
+    array: PimArray,
+    algorithm: MappingAlgorithm,
+}
+
+/// Cache counters of a [`PlanningEngine`] at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Plans answered from the cache.
+    pub plan_hits: u64,
+    /// Plans computed (and then cached).
+    pub plan_misses: u64,
+    /// Distinct `(shape, array, algorithm)` plans stored.
+    pub plan_entries: usize,
+    /// Algorithm 1 searches answered from the cache.
+    pub search_hits: u64,
+    /// Algorithm 1 searches computed (and then cached).
+    pub search_misses: u64,
+    /// Distinct `(shape, array, options)` search results stored.
+    pub search_entries: usize,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plans: {} hits / {} misses ({} cached); searches: {} hits / {} misses ({} cached)",
+            self.plan_hits,
+            self.plan_misses,
+            self.plan_entries,
+            self.search_hits,
+            self.search_misses,
+            self.search_entries
+        )
+    }
+}
+
+/// Parallel, memoizing planner for batch workloads; see the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct PlanningEngine {
+    algorithms: Vec<MappingAlgorithm>,
+    /// Worker threads for fan-out; 0 requests one per available core.
+    jobs: usize,
+    plans: RwLock<HashMap<PlanKey, MappingPlan>>,
+    searches: SearchCache,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+impl Default for PlanningEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanningEngine {
+    /// An engine comparing the paper's three algorithms, planning on the
+    /// current thread (`jobs = 1`).
+    pub fn new() -> Self {
+        Self::with_algorithms(&MappingAlgorithm::paper_trio())
+    }
+
+    /// An engine comparing an explicit algorithm set.
+    pub fn with_algorithms(algorithms: &[MappingAlgorithm]) -> Self {
+        Self {
+            algorithms: algorithms.to_vec(),
+            jobs: 1,
+            plans: RwLock::new(HashMap::new()),
+            searches: SearchCache::new(),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the worker-thread count for batch planning. `0` means "one
+    /// worker per available core"; `1` plans inline on the caller's
+    /// thread. Parallel and sequential runs produce identical reports.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The algorithms this engine compares.
+    pub fn algorithms(&self) -> &[MappingAlgorithm] {
+        &self.algorithms
+    }
+
+    /// The configured worker count (`0` = auto).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Worker count actually used for `task_count` tasks.
+    fn effective_jobs(&self, task_count: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.jobs
+        };
+        requested.min(task_count).max(1)
+    }
+
+    /// Plans one layer under one algorithm, answering from the plan
+    /// cache when the layer's shape has been planned before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VwSdkError`] if the algorithm fails to plan (planning
+    /// is currently total, so this is reserved for future algorithms).
+    pub fn plan(
+        &self,
+        layer: &ConvLayer,
+        array: PimArray,
+        algorithm: MappingAlgorithm,
+    ) -> Result<MappingPlan> {
+        let key = PlanKey {
+            shape: layer.shape(),
+            array,
+            algorithm,
+        };
+        let cached = self
+            .plans
+            .read()
+            .expect("plan cache lock poisoned")
+            .get(&key)
+            .cloned();
+        if let Some(plan) = cached {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            // Same shape by key construction, so rebinding cannot fail.
+            return Ok(plan.rebound(layer)?);
+        }
+        let plan = algorithm.plan(layer, array)?;
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        self.plans
+            .write()
+            .expect("plan cache lock poisoned")
+            .insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Plans one layer under every configured algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first algorithm failure.
+    pub fn plan_layer(&self, layer: &ConvLayer, array: PimArray) -> Result<LayerComparison> {
+        let mut plans = Vec::with_capacity(self.algorithms.len());
+        for &algorithm in &self.algorithms {
+            plans.push(self.plan(layer, array, algorithm)?);
+        }
+        Ok(LayerComparison::from_parts(layer.clone(), plans))
+    }
+
+    /// Plans every layer of a network, fanning out across the engine's
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first planning failure.
+    pub fn plan_network(&self, network: &Network, array: PimArray) -> Result<NetworkReport> {
+        let mut reports = self.sweep_arrays(std::slice::from_ref(network), &[array])?;
+        Ok(reports.pop().expect("one network times one array"))
+    }
+
+    /// Plans several networks on one array through the shared cache.
+    ///
+    /// Reports come back in `networks` order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first planning failure.
+    pub fn plan_networks(
+        &self,
+        networks: &[Network],
+        array: PimArray,
+    ) -> Result<Vec<NetworkReport>> {
+        self.sweep_arrays(networks, &[array])
+    }
+
+    /// Plans every network on every array — the design-space sweep — in
+    /// one parallel batch over all `(network, array, layer)` tasks.
+    ///
+    /// Reports come back network-major: all arrays of `networks[0]`,
+    /// then all arrays of `networks[1]`, and so on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first planning failure.
+    pub fn sweep_arrays(
+        &self,
+        networks: &[Network],
+        arrays: &[PimArray],
+    ) -> Result<Vec<NetworkReport>> {
+        let mut tasks: Vec<(&ConvLayer, PimArray)> = Vec::new();
+        for network in networks {
+            for &array in arrays {
+                for layer in network.layers() {
+                    tasks.push((layer, array));
+                }
+            }
+        }
+        let planned = self.parallel_map(&tasks, |&(layer, array)| self.plan_layer(layer, array));
+
+        let mut results = planned.into_iter();
+        let mut reports = Vec::with_capacity(networks.len() * arrays.len());
+        for network in networks {
+            for &array in arrays {
+                let mut layers = Vec::with_capacity(network.len());
+                for _ in 0..network.len() {
+                    layers.push(results.next().expect("one comparison per task")?);
+                }
+                reports.push(NetworkReport::from_parts(
+                    network.name().to_string(),
+                    array,
+                    self.algorithms.clone(),
+                    layers,
+                ));
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Cached Algorithm 1 search (see [`SearchCache`]). The result is
+    /// shared, not cloned — traces can be large.
+    pub fn search(
+        &self,
+        layer: &ConvLayer,
+        array: PimArray,
+        options: SearchOptions,
+    ) -> std::sync::Arc<SearchResult> {
+        self.searches.optimal_window_with(layer, array, options)
+    }
+
+    /// The engine's search cache, for sharing with other consumers.
+    pub fn search_cache(&self) -> &SearchCache {
+        &self.searches
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plan_entries: self.plans.read().expect("plan cache lock poisoned").len(),
+            search_hits: self.searches.hits(),
+            search_misses: self.searches.misses(),
+            search_entries: self.searches.len(),
+        }
+    }
+
+    /// Applies `f` to every item, fanning out across scoped worker
+    /// threads, and returns results in item order.
+    ///
+    /// Workers claim items from an atomic cursor (cheap dynamic load
+    /// balancing — layer search costs vary by orders of magnitude) and
+    /// push `(index, result)` pairs; reassembly by index makes the
+    /// output independent of scheduling.
+    fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let jobs = self.effective_jobs(items.len());
+        if jobs <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else {
+                        break;
+                    };
+                    let result = f(item);
+                    collected
+                        .lock()
+                        .expect("result collection lock poisoned")
+                        .push((index, result));
+                });
+            }
+        });
+        let mut pairs = collected
+            .into_inner()
+            .expect("result collection lock poisoned");
+        pairs.sort_by_key(|&(index, _)| index);
+        pairs.into_iter().map(|(_, result)| result).collect()
+    }
+}
+
+impl From<pim_nets::NetError> for VwSdkError {
+    fn from(err: pim_nets::NetError) -> Self {
+        Self::new(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Planner;
+    use pim_nets::zoo;
+
+    fn arr(rows: usize, cols: usize) -> PimArray {
+        PimArray::new(rows, cols).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_sequential_planner_on_table1() {
+        let engine = PlanningEngine::new().with_jobs(4);
+        let planner = Planner::new(arr(512, 512));
+        for network in [zoo::resnet18_table1(), zoo::vgg13()] {
+            let parallel = engine.plan_network(&network, arr(512, 512)).unwrap();
+            let sequential = planner.plan_network(&network).unwrap();
+            assert_eq!(parallel, sequential);
+            assert_eq!(format!("{parallel:?}"), format!("{sequential:?}"));
+        }
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_plan_cache() {
+        let engine = PlanningEngine::new();
+        let report = engine.plan_network(&zoo::vgg13(), arr(512, 512)).unwrap();
+        assert_eq!(report.layers().len(), 10);
+        let stats = engine.stats();
+        // VGG-13's 10 layers cover 9 distinct shapes (conv9 == conv10).
+        assert_eq!(stats.plan_misses, 9 * 3);
+        assert_eq!(stats.plan_hits, 3);
+        assert_eq!(stats.plan_entries, 27);
+    }
+
+    #[test]
+    fn second_run_is_all_hits() {
+        let engine = PlanningEngine::new();
+        let first = engine
+            .plan_network(&zoo::resnet18_table1(), arr(512, 512))
+            .unwrap();
+        let misses_after_first = engine.stats().plan_misses;
+        let second = engine
+            .plan_network(&zoo::resnet18_table1(), arr(512, 512))
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().plan_misses, misses_after_first);
+    }
+
+    #[test]
+    fn cached_plans_carry_the_right_layer_names() {
+        let engine = PlanningEngine::new();
+        let report = engine.plan_network(&zoo::vgg13(), arr(512, 512)).unwrap();
+        for (layer, comparison) in zoo::vgg13().layers().iter().zip(report.layers()) {
+            assert_eq!(comparison.layer().name(), layer.name());
+            for plan in comparison.plans() {
+                assert_eq!(plan.layer().name(), layer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_orders_reports_network_major() {
+        let engine = PlanningEngine::new().with_jobs(0);
+        let networks = [zoo::tiny(), zoo::resnet18_table1()];
+        let arrays = [arr(256, 256), arr(512, 512)];
+        let reports = engine.sweep_arrays(&networks, &arrays).unwrap();
+        assert_eq!(reports.len(), 4);
+        let labels: Vec<(String, String)> = reports
+            .iter()
+            .map(|r| (r.network_name().to_string(), r.array().to_string()))
+            .collect();
+        assert_eq!(labels[0], ("tiny".to_string(), "256x256".to_string()));
+        assert_eq!(labels[1], ("tiny".to_string(), "512x512".to_string()));
+        assert_eq!(labels[2].0, "ResNet-18");
+        assert_eq!(labels[3].1, "512x512");
+    }
+
+    #[test]
+    fn plan_networks_equals_individual_plans() {
+        let engine = PlanningEngine::new().with_jobs(3);
+        let networks = [zoo::vgg13(), zoo::resnet18_table1()];
+        let batch = engine.plan_networks(&networks, arr(512, 512)).unwrap();
+        let planner = Planner::new(arr(512, 512));
+        for (network, report) in networks.iter().zip(&batch) {
+            assert_eq!(report, &planner.plan_network(network).unwrap());
+        }
+    }
+
+    #[test]
+    fn custom_algorithm_set_flows_through() {
+        let engine =
+            PlanningEngine::with_algorithms(&[MappingAlgorithm::Smd, MappingAlgorithm::VwSdk]);
+        let report = engine.plan_network(&zoo::tiny(), arr(256, 256)).unwrap();
+        assert!(report.total_cycles(MappingAlgorithm::Smd).is_some());
+        assert!(report.total_cycles(MappingAlgorithm::Im2col).is_none());
+    }
+
+    #[test]
+    fn search_is_cached_per_options() {
+        let engine = PlanningEngine::new();
+        let layer = ConvLayer::square("c", 14, 3, 256, 256).unwrap();
+        let a = engine.search(&layer, arr(512, 512), SearchOptions::paper());
+        let b = engine.search(&layer, arr(512, 512), SearchOptions::paper());
+        assert_eq!(a, b);
+        engine.search(&layer, arr(512, 512), SearchOptions::pruned());
+        let stats = engine.stats();
+        assert_eq!(stats.search_hits, 1);
+        assert_eq!(stats.search_misses, 2);
+    }
+
+    #[test]
+    fn stats_render_readably() {
+        let engine = PlanningEngine::new();
+        engine.plan_network(&zoo::tiny(), arr(64, 64)).unwrap();
+        let text = engine.stats().to_string();
+        assert!(text.contains("plans:"), "{text}");
+        assert!(text.contains("searches:"), "{text}");
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_available_parallelism() {
+        let engine = PlanningEngine::new().with_jobs(0);
+        assert!(engine.effective_jobs(1000) >= 1);
+        assert_eq!(engine.effective_jobs(0), 1);
+        let pinned = PlanningEngine::new().with_jobs(3);
+        assert_eq!(pinned.effective_jobs(1000), 3);
+        assert_eq!(pinned.effective_jobs(2), 2);
+    }
+}

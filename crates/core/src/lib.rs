@@ -5,7 +5,9 @@
 //! Efficient Convolutional Weight Mapping Using Variable Windows for
 //! Processing-In-Memory Architectures"* (Rhe, Moon, Ko — DATE 2022). It
 //! re-exports the substrate crates and offers a high-level [`Planner`]
-//! that compares mapping algorithms layer-by-layer and network-wide:
+//! that compares mapping algorithms layer-by-layer and network-wide,
+//! plus the [`PlanningEngine`] — a parallel, shape-memoizing batch
+//! planner for zoo-wide and design-space sweeps:
 //!
 //! * [`pim_nets`] — CNN layer shapes and the paper's model zoo;
 //! * [`pim_arch`] — crossbar geometry, energy and utilization models;
@@ -33,9 +35,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod planner;
 pub mod render;
 
+pub use engine::{EngineStats, PlanningEngine};
 pub use planner::{LayerComparison, NetworkReport, Planner};
 
 pub use pim_arch;

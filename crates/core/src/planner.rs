@@ -1,6 +1,6 @@
 //! The high-level planning API.
 
-use crate::{Result, VwSdkError};
+use crate::{PlanningEngine, Result, VwSdkError};
 use pim_arch::PimArray;
 use pim_mapping::utilization::{utilization, UtilizationStats};
 use pim_mapping::{MappingAlgorithm, MappingPlan};
@@ -79,20 +79,17 @@ impl Planner {
 
     /// Plans every layer of a network.
     ///
+    /// Runs through a fresh single-threaded [`PlanningEngine`], so
+    /// repeated layer shapes within the network are planned once and
+    /// answered from its cache thereafter. For batch workloads (many
+    /// networks, many arrays, `--jobs N` parallelism, a cache that
+    /// persists across calls) use a [`PlanningEngine`] directly.
+    ///
     /// # Errors
     ///
     /// Propagates the first planning failure.
     pub fn plan_network(&self, network: &Network) -> Result<NetworkReport> {
-        let mut layers = Vec::with_capacity(network.len());
-        for layer in network {
-            layers.push(self.plan_layer(layer)?);
-        }
-        Ok(NetworkReport {
-            network_name: network.name().to_string(),
-            array: self.array,
-            algorithms: self.algorithms.clone(),
-            layers,
-        })
+        PlanningEngine::with_algorithms(&self.algorithms).plan_network(network, self.array)
     }
 }
 
@@ -104,6 +101,12 @@ pub struct LayerComparison {
 }
 
 impl LayerComparison {
+    /// Assembles a comparison from pre-computed plans (the planning
+    /// engine builds comparisons out of cached plans).
+    pub(crate) fn from_parts(layer: ConvLayer, plans: Vec<MappingPlan>) -> Self {
+        Self { layer, plans }
+    }
+
     /// The compared layer.
     pub fn layer(&self) -> &ConvLayer {
         &self.layer
@@ -148,7 +151,9 @@ impl LayerComparison {
     /// layer has no cell-level layout (grouped).
     pub fn utilization(&self, algorithm: MappingAlgorithm) -> Result<UtilizationStats> {
         let plan = self.plan_for(algorithm).ok_or_else(|| {
-            VwSdkError::new(format!("algorithm {algorithm} not configured in this comparison"))
+            VwSdkError::new(format!(
+                "algorithm {algorithm} not configured in this comparison"
+            ))
         })?;
         Ok(utilization(plan)?)
     }
@@ -164,6 +169,22 @@ pub struct NetworkReport {
 }
 
 impl NetworkReport {
+    /// Assembles a report from per-layer comparisons (used by the
+    /// planning engine's batch entry points).
+    pub(crate) fn from_parts(
+        network_name: String,
+        array: PimArray,
+        algorithms: Vec<MappingAlgorithm>,
+        layers: Vec<LayerComparison>,
+    ) -> Self {
+        Self {
+            network_name,
+            array,
+            algorithms,
+            layers,
+        }
+    }
+
     /// Name of the planned network.
     pub fn network_name(&self) -> &str {
         &self.network_name

@@ -70,7 +70,11 @@ pub fn render_speedups(report: &NetworkReport, baseline: MappingAlgorithm) -> St
         let speedup = report
             .speedup(*alg, baseline)
             .expect("baseline is configured");
-        table.add_row(&[alg.label().to_string(), total.to_string(), fmt_speedup(speedup)]);
+        table.add_row(&[
+            alg.label().to_string(),
+            total.to_string(),
+            fmt_speedup(speedup),
+        ]);
     }
     format!(
         "{} on {} (baseline: {})\n\n{}",
@@ -109,7 +113,11 @@ pub fn render_utilization(report: &NetworkReport) -> String {
         }
         table.add_row(&row);
     }
-    format!("Utilization (eq. 9, nonzero cells) on {}\n\n{}", report.array(), table.render())
+    format!(
+        "Utilization (eq. 9, nonzero cells) on {}\n\n{}",
+        report.array(),
+        table.render()
+    )
 }
 
 #[cfg(test)]

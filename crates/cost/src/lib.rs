@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod capacity;
+pub mod memo;
 pub mod model;
 pub mod precision;
 pub mod search;

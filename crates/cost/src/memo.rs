@@ -1,0 +1,199 @@
+//! Shape-keyed memoization of the Algorithm 1 window search.
+//!
+//! The search result for a layer depends only on the layer's *shape*
+//! ([`pim_nets::LayerShape`]), the array geometry and the
+//! [`SearchOptions`] — never on the layer's name. Networks repeat shapes
+//! heavily (half of VGG-13's convolutions share a shape with a
+//! neighbour), and design-space sweeps re-plan the same shapes across
+//! array after array, so caching turns the `O(layers × candidates)`
+//! search cost into hash lookups.
+//!
+//! [`SearchCache`] is thread-safe (`RwLock` + atomic counters) and is
+//! shared by reference across the planning engine's worker threads. Two
+//! workers racing on the same key both compute the same value — the
+//! search is deterministic — so the second insert is a harmless
+//! overwrite, never a correctness hazard.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_arch::PimArray;
+//! use pim_cost::memo::SearchCache;
+//! use pim_cost::search::SearchOptions;
+//! use pim_nets::ConvLayer;
+//!
+//! let cache = SearchCache::new();
+//! let array = PimArray::new(512, 512)?;
+//! let conv_b = ConvLayer::square("conv_b", 14, 3, 256, 256)?;
+//! let conv_c = ConvLayer::square("conv_c", 14, 3, 256, 256)?; // same shape
+//!
+//! let first = cache.optimal_window_with(&conv_b, array, SearchOptions::paper());
+//! let second = cache.optimal_window_with(&conv_c, array, SearchOptions::paper());
+//! assert_eq!(first, second);
+//! assert_eq!((cache.hits(), cache.misses()), (1, 1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::search::{self, SearchOptions, SearchResult};
+use pim_arch::PimArray;
+use pim_nets::{ConvLayer, LayerShape};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Memo key: everything [`search::optimal_window_with`] depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SearchKey {
+    shape: LayerShape,
+    array: PimArray,
+    options: SearchOptions,
+}
+
+/// Thread-safe memo table for the Algorithm 1 search.
+///
+/// See the [module docs](self) for semantics and an example.
+#[derive(Debug, Default)]
+pub struct SearchCache {
+    results: RwLock<HashMap<SearchKey, Arc<SearchResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SearchCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached [`search::optimal_window_with`]: returns the memoized
+    /// result for the layer's shape, computing and storing it on first
+    /// use.
+    ///
+    /// Results are shared behind an [`Arc`] — a `SearchResult` can carry
+    /// a full candidate trace, so hits hand out a reference instead of
+    /// deep-cloning it.
+    pub fn optimal_window_with(
+        &self,
+        layer: &ConvLayer,
+        array: PimArray,
+        options: SearchOptions,
+    ) -> Arc<SearchResult> {
+        let key = SearchKey {
+            shape: layer.shape(),
+            array,
+            options,
+        };
+        if let Some(result) = self
+            .results
+            .read()
+            .expect("search cache lock poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(result);
+        }
+        let result = Arc::new(search::optimal_window_with(layer, array, options));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.results
+            .write()
+            .expect("search cache lock poisoned")
+            .insert(key, Arc::clone(&result));
+        result
+    }
+
+    /// Cached search under the paper's default options.
+    pub fn optimal_window(&self, layer: &ConvLayer, array: PimArray) -> Arc<SearchResult> {
+        self.optimal_window_with(layer, array, SearchOptions::paper())
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that ran the search.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct (shape, array, options) keys stored.
+    pub fn len(&self) -> usize {
+        self.results
+            .read()
+            .expect("search cache lock poisoned")
+            .len()
+    }
+
+    /// Whether the cache holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr() -> PimArray {
+        PimArray::new(512, 512).unwrap()
+    }
+
+    #[test]
+    fn cached_result_equals_direct_search() {
+        let cache = SearchCache::new();
+        let layer = ConvLayer::square("c", 56, 3, 128, 256).unwrap();
+        let direct = search::optimal_window(&layer, arr());
+        let cached_cold = cache.optimal_window(&layer, arr());
+        let cached_warm = cache.optimal_window(&layer, arr());
+        assert_eq!(&direct, cached_cold.as_ref());
+        assert_eq!(&direct, cached_warm.as_ref());
+        // Hits share the stored allocation rather than deep-cloning it.
+        assert!(Arc::ptr_eq(&cached_cold, &cached_warm));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn name_does_not_split_the_key() {
+        let cache = SearchCache::new();
+        let a = ConvLayer::square("first", 14, 3, 256, 256).unwrap();
+        let b = ConvLayer::square("second", 14, 3, 256, 256).unwrap();
+        cache.optimal_window(&a, arr());
+        cache.optimal_window(&b, arr());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn options_and_array_split_the_key() {
+        let cache = SearchCache::new();
+        let layer = ConvLayer::square("c", 14, 3, 256, 256).unwrap();
+        cache.optimal_window_with(&layer, arr(), SearchOptions::paper());
+        cache.optimal_window_with(&layer, arr(), SearchOptions::pruned());
+        cache.optimal_window_with(
+            &layer,
+            PimArray::new(256, 256).unwrap(),
+            SearchOptions::paper(),
+        );
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache = SearchCache::new();
+        let layer = ConvLayer::square("c", 28, 3, 128, 128).unwrap();
+        let expected = search::optimal_window(&layer, arr());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        assert_eq!(cache.optimal_window(&layer, arr()).as_ref(), &expected);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits() + cache.misses(), 32);
+    }
+}

@@ -421,7 +421,7 @@ mod tests {
         let a = arr(512, 512);
         assert!(vw_cost(&l, a, pw(2, 3)).is_none()); // smaller than kernel
         assert!(vw_cost(&l, a, pw(15, 3)).is_none()); // larger than input
-        // Window area exceeding the rows is infeasible (ICt = 0).
+                                                      // Window area exceeding the rows is infeasible (ICt = 0).
         let tiny = arr(8, 512);
         assert!(vw_cost(&l, tiny, pw(3, 3)).is_none());
     }

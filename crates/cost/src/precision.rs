@@ -125,15 +125,11 @@ pub fn quantized_cost(
 }
 
 /// im2col cycles under the same precision model.
-pub fn quantized_im2col_cycles(
-    layer: &ConvLayer,
-    array: PimArray,
-    config: PrecisionConfig,
-) -> u64 {
+pub fn quantized_im2col_cycles(layer: &ConvLayer, array: PimArray, config: PrecisionConfig) -> u64 {
     let base = model::im2col_cost(layer, array);
     let cols_per_weight = config.cols_per_weight() as u64;
-    let ac = (layer.out_channels_per_group() as u64 * cols_per_weight)
-        .div_ceil(array.cols() as u64);
+    let ac =
+        (layer.out_channels_per_group() as u64 * cols_per_weight).div_ceil(array.cols() as u64);
     base.n_windows * base.ar_cycles * ac * config.input_passes() * layer.groups() as u64
 }
 
@@ -244,8 +240,7 @@ mod tests {
         let ideal = ideal_search(&l, a).best().copied();
         let (_, quant) = optimal_window_quantized(&l, a, PrecisionConfig::isaac_like());
         if let (Some(i), Some(q)) = (ideal, quant) {
-            let windows =
-                |w: ParallelWindow| w.windows_inside(l.kernel_w(), l.kernel_h());
+            let windows = |w: ParallelWindow| w.windows_inside(l.kernel_w(), l.kernel_h());
             assert!(windows(q.window) <= windows(i.window));
         }
     }

@@ -16,7 +16,7 @@ use pim_nets::ConvLayer;
 /// flags implement the ablations called out in DESIGN.md (§4): disabling
 /// rectangles isolates the channel-tiling idea, and disabling channel
 /// tiling isolates the rectangular-window idea.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SearchOptions {
     /// Only consider square windows (`PWw == PWh`).
     pub square_only: bool,

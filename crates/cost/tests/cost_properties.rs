@@ -17,8 +17,10 @@ fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
 }
 
 fn array_strategy() -> impl Strategy<Value = PimArray> {
-    (prop_oneof![Just(64usize), Just(128), Just(256), Just(512), 16usize..600],
-     prop_oneof![Just(64usize), Just(128), Just(256), Just(512), 16usize..600])
+    (
+        prop_oneof![Just(64usize), Just(128), Just(256), Just(512), 16usize..600],
+        prop_oneof![Just(64usize), Just(128), Just(256), Just(512), 16usize..600],
+    )
         .prop_map(|(r, c)| PimArray::new(r, c).expect("positive"))
 }
 

@@ -320,7 +320,12 @@ impl SmdLayout {
                             cells.push(CellAssignment {
                                 row,
                                 col,
-                                weight: WeightCoord { oc: o, ic: c, ky, kx },
+                                weight: WeightCoord {
+                                    oc: o,
+                                    ic: c,
+                                    ky,
+                                    kx,
+                                },
                             });
                         }
                     }
@@ -398,7 +403,14 @@ mod tests {
         assert_eq!(t.used_cells(), 18 * 4); // fully dense
         assert_eq!(t.rect_cells(), 18 * 4);
         // Row 0 is channel 0, window origin.
-        assert_eq!(t.row_sources()[0], RowSource { ic: 0, dy: 0, dx: 0 });
+        assert_eq!(
+            t.row_sources()[0],
+            RowSource {
+                ic: 0,
+                dy: 0,
+                dx: 0
+            }
+        );
         // Every column covers the single window (0,0).
         assert!(t.col_sinks().iter().all(|s| s.wy == 0 && s.wx == 0));
     }
@@ -434,8 +446,22 @@ mod tests {
         // Each column holds one 3x3 kernel per channel: 9*2 cells.
         assert_eq!(t.used_cells(), 6 * 18);
         // Column 0: window (0,0); column 1: window (0,1) shifted right.
-        assert_eq!(t.col_sinks()[0], ColSink { oc: 0, wy: 0, wx: 0 });
-        assert_eq!(t.col_sinks()[1], ColSink { oc: 0, wy: 0, wx: 1 });
+        assert_eq!(
+            t.col_sinks()[0],
+            ColSink {
+                oc: 0,
+                wy: 0,
+                wx: 0
+            }
+        );
+        assert_eq!(
+            t.col_sinks()[1],
+            ColSink {
+                oc: 0,
+                wy: 0,
+                wx: 1
+            }
+        );
         let col1_min_dx = t
             .cells()
             .iter()
@@ -466,7 +492,11 @@ mod tests {
     #[test]
     fn occupancy_grid_matches_cell_count() {
         let l = layer(10, 3, 3, 5);
-        for alg in [MappingAlgorithm::Im2col, MappingAlgorithm::VwSdk, MappingAlgorithm::Sdk] {
+        for alg in [
+            MappingAlgorithm::Im2col,
+            MappingAlgorithm::VwSdk,
+            MappingAlgorithm::Sdk,
+        ] {
             let p = alg.plan(&l, arr(48, 40)).unwrap();
             for t in 0..p.ar_cycles() {
                 for u in 0..p.ac_cycles() {

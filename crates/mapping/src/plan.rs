@@ -87,9 +87,12 @@ impl MappingAlgorithm {
                 SearchOptions::square_windows_only(),
                 *self,
             )),
-            Self::VwSdkFullChannel => {
-                Ok(plan_vw(layer, array, SearchOptions::no_channel_tiling(), *self))
-            }
+            Self::VwSdkFullChannel => Ok(plan_vw(
+                layer,
+                array,
+                SearchOptions::no_channel_tiling(),
+                *self,
+            )),
         }
     }
 }
@@ -217,6 +220,35 @@ impl MappingPlan {
         )
     }
 
+    /// Returns a copy of this plan re-attributed to `layer`, which must
+    /// have the same shape (the name may differ).
+    ///
+    /// Every field of a plan except the embedded layer is a pure function
+    /// of the layer's *shape*, the array and the algorithm, so a plan
+    /// computed for one layer transfers verbatim to any equally shaped
+    /// layer. This is what lets the planning engine memoize plans by
+    /// [`pim_nets::LayerShape`] and still hand back plans that are
+    /// indistinguishable from planning each layer directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError`] if `layer`'s shape differs from the
+    /// planned layer's shape.
+    pub fn rebound(&self, layer: &ConvLayer) -> Result<MappingPlan> {
+        if !self.layer.same_shape(layer) {
+            return Err(MappingError::new(format!(
+                "cannot rebind plan of {:?} ({:?}) to {:?} ({:?}): shapes differ",
+                self.layer.name(),
+                self.layer.shape(),
+                layer.name(),
+                layer.shape()
+            )));
+        }
+        let mut plan = self.clone();
+        plan.layer = layer.clone();
+        Ok(plan)
+    }
+
     /// Ensures the plan's layer is executable by the layout generator.
     ///
     /// # Errors
@@ -290,9 +322,7 @@ fn plan_im2col(layer: &ConvLayer, array: PimArray) -> MappingPlan {
         windows_in_pw: 1,
         n_parallel_windows: cost.n_windows,
         tiled_ic: layer.in_channels_per_group(),
-        tiled_oc: layer
-            .out_channels_per_group()
-            .min(array.cols()),
+        tiled_oc: layer.out_channels_per_group().min(array.cols()),
         ar_cycles: cost.ar_cycles,
         ac_cycles: cost.ac_cycles,
         cycles: cost.cycles,
@@ -350,9 +380,15 @@ fn plan_sdk(layer: &ConvLayer, array: PimArray, optimized: bool) -> MappingPlan 
     } else {
         MappingAlgorithm::Sdk
     };
-    let windows_in_pw =
-        model::windows_per_pw_axis(cost.window.width(), layer.effective_kernel_w(), layer.stride())
-            * model::windows_per_pw_axis(cost.window.height(), layer.effective_kernel_h(), layer.stride());
+    let windows_in_pw = model::windows_per_pw_axis(
+        cost.window.width(),
+        layer.effective_kernel_w(),
+        layer.stride(),
+    ) * model::windows_per_pw_axis(
+        cost.window.height(),
+        layer.effective_kernel_h(),
+        layer.stride(),
+    );
     MappingPlan {
         algorithm,
         layer: layer.clone(),
@@ -485,7 +521,10 @@ mod tests {
         let a = arr(512, 512);
         let im2col = MappingAlgorithm::Im2col.plan(&l, a).unwrap().cycles();
         let vw = MappingAlgorithm::VwSdk.plan(&l, a).unwrap().cycles();
-        for alg in [MappingAlgorithm::VwSdkSquare, MappingAlgorithm::VwSdkFullChannel] {
+        for alg in [
+            MappingAlgorithm::VwSdkSquare,
+            MappingAlgorithm::VwSdkFullChannel,
+        ] {
             let c = alg.plan(&l, a).unwrap().cycles();
             assert!(c >= vw && c <= im2col, "{alg}: {c} not in [{vw}, {im2col}]");
         }
@@ -513,6 +552,28 @@ mod tests {
         let p = MappingAlgorithm::VwSdk.plan(&dw, arr(512, 512)).unwrap();
         assert!(p.cycles() > 0);
         assert!(p.check_layout_supported().is_err());
+    }
+
+    #[test]
+    fn rebound_equals_direct_planning() {
+        let a = arr(512, 512);
+        for alg in MappingAlgorithm::all() {
+            let original = alg.plan(&layer(14, 3, 256, 256), a).unwrap();
+            let renamed = ConvLayer::square("other-name", 14, 3, 256, 256).unwrap();
+            let rebound = original.rebound(&renamed).unwrap();
+            assert_eq!(rebound, alg.plan(&renamed, a).unwrap());
+            assert_eq!(rebound.layer().name(), "other-name");
+        }
+    }
+
+    #[test]
+    fn rebound_rejects_different_shapes() {
+        let plan = MappingAlgorithm::VwSdk
+            .plan(&layer(14, 3, 256, 256), arr(512, 512))
+            .unwrap();
+        let other = layer(14, 3, 256, 512);
+        let err = plan.rebound(&other).unwrap_err();
+        assert!(err.to_string().contains("shapes differ"));
     }
 
     #[test]

@@ -122,7 +122,11 @@ mod tests {
 
     #[test]
     fn position_count_matches_plan() {
-        for alg in [MappingAlgorithm::Im2col, MappingAlgorithm::VwSdk, MappingAlgorithm::Sdk] {
+        for alg in [
+            MappingAlgorithm::Im2col,
+            MappingAlgorithm::VwSdk,
+            MappingAlgorithm::Sdk,
+        ] {
             let p = alg.plan(&layer(14, 3, 8, 8), arr(128, 128)).unwrap();
             assert_eq!(
                 pw_positions(&p).len() as u64,

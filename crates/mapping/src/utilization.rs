@@ -164,7 +164,8 @@ mod tests {
         for (i, ic, oc) in [(56, 128, 256), (56, 256, 256)] {
             let l = layer(i, 3, ic, oc);
             let sdk = utilization(&MappingAlgorithm::Sdk.plan(&l, arr(512, 512)).unwrap()).unwrap();
-            let vw = utilization(&MappingAlgorithm::VwSdk.plan(&l, arr(512, 512)).unwrap()).unwrap();
+            let vw =
+                utilization(&MappingAlgorithm::VwSdk.plan(&l, arr(512, 512)).unwrap()).unwrap();
             assert!(vw.peak_nonzero > sdk.peak_nonzero);
         }
     }

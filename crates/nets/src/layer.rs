@@ -164,7 +164,8 @@ impl ConvLayer {
 
     /// Weight-parameter count (`OC · IC/groups · Kh · Kw`).
     pub fn n_params(&self) -> u64 {
-        self.out_channels as u64 * (self.in_channels / self.groups) as u64
+        self.out_channels as u64
+            * (self.in_channels / self.groups) as u64
             * self.kernel_h as u64
             * self.kernel_w as u64
     }
@@ -203,6 +204,62 @@ impl ConvLayer {
             .groups(self.groups)
             .build()
     }
+
+    /// The canonical name-free shape of this layer.
+    ///
+    /// Two layers with equal shapes are interchangeable for every mapping
+    /// algorithm and cost equation — only the [`ConvLayer::name`] differs —
+    /// which is what makes shape-keyed memoization of planning sound (CNNs
+    /// such as VGG-13 and ResNet-18 repeat shapes heavily).
+    pub fn shape(&self) -> LayerShape {
+        LayerShape {
+            input_h: self.input_h,
+            input_w: self.input_w,
+            kernel_h: self.kernel_h,
+            kernel_w: self.kernel_w,
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            stride: self.stride,
+            padding: self.padding,
+            dilation: self.dilation,
+            groups: self.groups,
+        }
+    }
+
+    /// Whether `other` has the same shape (name ignored).
+    pub fn same_shape(&self, other: &ConvLayer) -> bool {
+        self.shape() == other.shape()
+    }
+}
+
+/// The name-free shape of a [`ConvLayer`]: every geometric field that the
+/// cost model and mapping planners consume, and nothing else.
+///
+/// Used as (part of) the memoization key of the planning engine and the
+/// window-search cache: planning results for one shape transfer verbatim
+/// to any equally shaped layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerShape {
+    /// Input feature-map height (`Ih`).
+    pub input_h: usize,
+    /// Input feature-map width (`Iw`).
+    pub input_w: usize,
+    /// Kernel height (`Kh`).
+    pub kernel_h: usize,
+    /// Kernel width (`Kw`).
+    pub kernel_w: usize,
+    /// Input channels (`IC`).
+    pub in_channels: usize,
+    /// Output channels (`OC`).
+    pub out_channels: usize,
+    /// Convolution stride (both axes).
+    pub stride: usize,
+    /// Zero padding (both axes).
+    pub padding: usize,
+    /// Kernel dilation (both axes).
+    pub dilation: usize,
+    /// Channel groups (1 = dense convolution).
+    pub groups: usize,
 }
 
 impl fmt::Display for ConvLayer {
@@ -349,7 +406,9 @@ impl ConvLayerBuilder {
                 self.kernel_w, self.kernel_h, eff_w, eff_h, padded_w, padded_h, self.name
             )));
         }
-        if !self.in_channels.is_multiple_of(self.groups) || !self.out_channels.is_multiple_of(self.groups) {
+        if !self.in_channels.is_multiple_of(self.groups)
+            || !self.out_channels.is_multiple_of(self.groups)
+        {
             return Err(NetError::new(format!(
                 "channels {}->{} not divisible by groups {} in layer {:?}",
                 self.in_channels, self.out_channels, self.groups, self.name

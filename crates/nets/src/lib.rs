@@ -30,7 +30,7 @@ mod layer;
 mod network;
 pub mod zoo;
 
-pub use layer::{ConvLayer, ConvLayerBuilder};
+pub use layer::{ConvLayer, ConvLayerBuilder, LayerShape};
 pub use network::Network;
 
 use std::error::Error;

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The workspace builds with no network access (DESIGN.md §6), so the
+//! benches under `crates/bench/benches/` link against this shim. It
+//! mirrors the API shape the tree uses — [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — and measures each
+//! benchmark with a calibrated wall-clock loop.
+//!
+//! There is no statistics engine, warm-up schedule or HTML report:
+//! every benchmark prints one `name ... best time/iter` line, which is
+//! enough to compare cached vs uncached planning paths side by side.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark measurement.
+const MEASURE_BUDGET: Duration = Duration::from_millis(60);
+/// Samples taken per benchmark; the median is reported.
+const SAMPLES: usize = 5;
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// A named group of benchmarks (shim of `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs one benchmark of this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark of this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark (shim of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter label.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, calibrating the iteration count to the measurement
+    /// budget, and records the per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One calibration run sizes the measured batch.
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (MEASURE_BUDGET.as_nanos() / first.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut best: Option<Duration> = None;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per = start.elapsed() / iters as u32;
+            best = Some(best.map_or(per, |b| b.min(per)));
+        }
+        self.per_iter = best;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher { per_iter: None };
+    f(&mut bencher);
+    match bencher.per_iter {
+        Some(t) => println!("bench: {name:<44} {:>12} /iter", format_duration(t)),
+        None => println!("bench: {name:<44} (no measurement — iter() never called)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (shim of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut b = Bencher { per_iter: None };
+        b.iter(|| std::hint::black_box(17u64.wrapping_mul(31)));
+        assert!(b.per_iter.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_path() {
+        let id = BenchmarkId::new("full", "resnet_stem");
+        assert_eq!(id.to_string(), "full/resnet_stem");
+    }
+
+    #[test]
+    fn durations_format_with_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

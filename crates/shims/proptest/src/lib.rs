@@ -1,0 +1,255 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds with no network access (DESIGN.md §6), so the
+//! property-test suites link against this shim, which implements the
+//! subset of the proptest API the tree uses:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`, implemented for
+//!   integer ranges, tuples (arity ≤ 12), [`Just`] and [`strategy::Union`];
+//! * [`any`] for `u64`-style wholesale values;
+//! * [`collection::vec`] for variable-length vectors;
+//! * the [`proptest!`] function wrapper plus [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_oneof!`].
+//!
+//! Semantics differ from real proptest in one deliberate way: failing
+//! cases are reported with their generated inputs but are **not shrunk**.
+//! Generation is deterministic per test (seeded from the test's module
+//! path and name), so failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Range;
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Per-test configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Widely used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Builds a strategy vector entry for [`prop_oneof!`]; the macro calls
+/// this so each arm coerces to the same boxed strategy type.
+pub fn oneof_arm<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Picks one of several strategies uniformly at random per generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::oneof_arm($strategy)),+])
+    };
+}
+
+/// Property-scoped assertion: fails the current case (with its inputs)
+/// instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @internal ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let mut inputs = String::new();
+                    $(
+                        let value = $crate::Strategy::generate(&($strategy), &mut rng);
+                        inputs.push_str(&format!(
+                            "{} = {:?}; ",
+                            stringify!($arg),
+                            &value
+                        ));
+                        let $arg = value;
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}:\n{}\ninputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @internal ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! { @internal ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implements `Strategy` for `Range<$t>` integer ranges.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_stay_in_bounds");
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_and_maps_compose() {
+        let strategy = (1usize..5, 10u64..20).prop_map(|(a, b)| a as u64 + b);
+        let mut rng = TestRng::deterministic("tuples_and_maps_compose");
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((11..=24).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_picks_every_arm() {
+        let strategy = prop_oneof![Just(1usize), Just(2), 3usize..5];
+        let mut rng = TestRng::deterministic("oneof_picks_every_arm");
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[strategy.generate(&mut rng)] = true;
+        }
+        assert_eq!(seen, [false, true, true, true, true]);
+    }
+
+    #[test]
+    fn collection_vec_respects_length() {
+        let strategy = collection::vec(0usize..3, 2..5);
+        let mut rng = TestRng::deterministic("collection_vec_respects_length");
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_and_asserts(a in 1usize..10, b in 1usize..10) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn flat_map_respects_dependency(pair in (1usize..6).prop_flat_map(|n| (Just(n), n..n + 3))) {
+            let (n, m) = pair;
+            prop_assert!(m >= n && m < n + 3);
+        }
+    }
+}

@@ -136,8 +136,26 @@ mod tests {
         let weights = gen::ramp4::<i64>(2, 1, 2, 2);
         let mut x: Crossbar<i64> = Crossbar::new(4, 2);
         let cells = vec![
-            CellAssignment { row: 0, col: 0, weight: WeightCoord { oc: 0, ic: 0, ky: 0, kx: 0 } },
-            CellAssignment { row: 3, col: 1, weight: WeightCoord { oc: 1, ic: 0, ky: 1, kx: 1 } },
+            CellAssignment {
+                row: 0,
+                col: 0,
+                weight: WeightCoord {
+                    oc: 0,
+                    ic: 0,
+                    ky: 0,
+                    kx: 0,
+                },
+            },
+            CellAssignment {
+                row: 3,
+                col: 1,
+                weight: WeightCoord {
+                    oc: 1,
+                    ic: 0,
+                    ky: 1,
+                    kx: 1,
+                },
+            },
         ];
         x.program_layout(&cells, &weights).unwrap();
         let y = x.mvm(&[1, 0, 0, 1]).unwrap();
@@ -151,13 +169,23 @@ mod tests {
         let oob_cell = vec![CellAssignment {
             row: 2,
             col: 0,
-            weight: WeightCoord { oc: 0, ic: 0, ky: 0, kx: 0 },
+            weight: WeightCoord {
+                oc: 0,
+                ic: 0,
+                ky: 0,
+                kx: 0,
+            },
         }];
         assert!(x.program_layout(&oob_cell, &weights).is_err());
         let oob_weight = vec![CellAssignment {
             row: 0,
             col: 0,
-            weight: WeightCoord { oc: 1, ic: 0, ky: 0, kx: 0 },
+            weight: WeightCoord {
+                oc: 1,
+                ic: 0,
+                ky: 0,
+                kx: 0,
+            },
         }];
         assert!(x.program_layout(&oob_weight, &weights).is_err());
     }

@@ -38,7 +38,8 @@ impl RunStats {
         self.macs += used_cells as u64;
         self.adc_conversions += active_cols as u64;
         self.dac_conversions += active_rows as u64;
-        self.energy.add_cycle(model, active_rows, active_cols, used_cells);
+        self.energy
+            .add_cycle(model, active_rows, active_cols, used_cells);
     }
 
     /// Records one array reprogramming.

@@ -179,6 +179,9 @@ mod tests {
         // Output magnitudes are O(10^2); 8-bit quantization should keep
         // the error within a percent of that, 4-bit visibly larger.
         assert!(q8.rmse < 2.0, "int8 rmse {}", q8.rmse);
-        assert!(q4.rmse > q8.rmse * 2.0, "quantization error should grow sharply at 4 bits");
+        assert!(
+            q4.rmse > q8.rmse * 2.0,
+            "quantization error should grow sharply at 4 bits"
+        );
     }
 }

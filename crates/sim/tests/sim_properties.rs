@@ -21,36 +21,38 @@ struct Case {
 
 fn case_strategy() -> impl Strategy<Value = Case> {
     (
-        1usize..4,          // kernel
-        1usize..10,         // input extra
-        1usize..6,          // ic
-        1usize..7,          // oc
-        0usize..2,          // padding
-        1usize..3,          // stride
-        1usize..3,          // dilation
-        12usize..80,        // rows
-        8usize..80,         // cols
+        1usize..4,   // kernel
+        1usize..10,  // input extra
+        1usize..6,   // ic
+        1usize..7,   // oc
+        0usize..2,   // padding
+        1usize..3,   // stride
+        1usize..3,   // dilation
+        12usize..80, // rows
+        8usize..80,  // cols
         any::<u64>(),
     )
-        .prop_map(|(k, extra, ic, oc, pad, stride, dilation, rows, cols, seed)| {
-            // Input must contain the dilated kernel.
-            let eff = (k - 1) * dilation + 1;
-            let input = eff + extra;
-            let layer = ConvLayer::builder("prop")
-                .input(input, input)
-                .kernel(k, k)
-                .channels(ic, oc)
-                .padding(pad)
-                .stride(stride)
-                .dilation(dilation)
-                .build()
-                .expect("valid by construction");
-            Case {
-                layer,
-                array: PimArray::new(rows, cols).expect("positive"),
-                seed,
-            }
-        })
+        .prop_map(
+            |(k, extra, ic, oc, pad, stride, dilation, rows, cols, seed)| {
+                // Input must contain the dilated kernel.
+                let eff = (k - 1) * dilation + 1;
+                let input = eff + extra;
+                let layer = ConvLayer::builder("prop")
+                    .input(input, input)
+                    .kernel(k, k)
+                    .channels(ic, oc)
+                    .padding(pad)
+                    .stride(stride)
+                    .dilation(dilation)
+                    .build()
+                    .expect("valid by construction");
+                Case {
+                    layer,
+                    array: PimArray::new(rows, cols).expect("positive"),
+                    seed,
+                }
+            },
+        )
 }
 
 proptest! {

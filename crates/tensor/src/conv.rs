@@ -77,13 +77,7 @@ impl Conv2dParams {
     ///
     /// Returns [`ShapeError`] if the stride or dilation is zero, or if the
     /// (dilated) kernel does not fit inside the padded input.
-    pub fn output_dims(
-        &self,
-        h: usize,
-        w: usize,
-        kh: usize,
-        kw: usize,
-    ) -> Result<(usize, usize)> {
+    pub fn output_dims(&self, h: usize, w: usize, kh: usize, kw: usize) -> Result<(usize, usize)> {
         if self.stride_h == 0 || self.stride_w == 0 {
             return Err(ShapeError::new("stride must be >= 1"));
         }

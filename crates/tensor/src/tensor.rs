@@ -285,7 +285,12 @@ pub struct Tensor4<T> {
 
 impl<T: Scalar> Tensor4<T> {
     /// Creates a zero-filled weight bank.
-    pub fn zeros(out_channels: usize, in_channels: usize, kernel_h: usize, kernel_w: usize) -> Self {
+    pub fn zeros(
+        out_channels: usize,
+        in_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+    ) -> Self {
         Self {
             out_channels,
             in_channels,

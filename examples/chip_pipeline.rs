@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 n_arrays,
                 alg.label(),
                 deployment.tiles_demanded(),
-                if deployment.is_fully_resident() { "yes" } else { "no" },
+                if deployment.is_fully_resident() {
+                    "yes"
+                } else {
+                    "no"
+                },
                 latency_model.total_us(pipe.latency_cycles()),
                 pipe.bottleneck_cycles(),
                 pipe.throughput_ips(&latency_model),

@@ -21,15 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("layer : {layer}");
     println!("array : {array}");
-    println!(
-        "im2col initialization: {} cycles\n",
-        result.im2col().cycles
-    );
+    println!("im2col initialization: {} cycles\n", result.im2col().cycles);
 
     // Show the ten best candidates.
     let mut trace = result.trace().to_vec();
     trace.sort_by_key(|c| c.cycles);
-    println!("top candidates (of {} feasible / {} scanned):", result.feasible(), result.evaluated());
+    println!(
+        "top candidates (of {} feasible / {} scanned):",
+        result.feasible(),
+        result.evaluated()
+    );
     println!("window   NWP  ICt  OCt   AR  AC    cycles");
     println!("------------------------------------------");
     for cost in trace.iter().take(10) {

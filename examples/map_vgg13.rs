@@ -4,9 +4,9 @@
 //! Run with: `cargo run --example map_vgg13`
 
 use vw_sdk::pim_arch::PimArray;
+use vw_sdk::pim_mapping::MappingAlgorithm;
 use vw_sdk::pim_nets::zoo;
 use vw_sdk::render::{render_speedups, render_table1};
-use vw_sdk::pim_mapping::MappingAlgorithm;
 use vw_sdk::Planner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -9,15 +9,18 @@
 //! vwsdk layer  --input 56 --kernel 3 --ic 128 --oc 256 --array 512x512
 //! vwsdk search --input 56 --kernel 3 --ic 128 --oc 256 --array 512x512 --top 5
 //! vwsdk verify --network tiny --array 64x64
+//! vwsdk sweep  --networks vgg13,resnet18 --arrays 256x256,512x512 --jobs 4
 //! ```
 
 use pim_arch::{presets, PimArray};
 use pim_mapping::MappingAlgorithm;
-use pim_nets::{zoo, ConvLayer};
+use pim_nets::{zoo, ConvLayer, Network};
+use pim_report::fmt_speedup;
+use pim_report::table::{Align, TextTable};
 use pim_sim::verify::verify_plan;
 use std::fmt;
 use vw_sdk::render::{render_speedups, render_table1};
-use vw_sdk::Planner;
+use vw_sdk::{Planner, PlanningEngine};
 
 /// Error produced by CLI parsing or execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,10 +59,16 @@ COMMANDS:
     search   Show the window search  (same layer options, plus --top N)
     show     Draw a tile layout      (same layer options, plus --algorithm NAME)
     verify   Run the simulator       (--network NAME --array RxC [--seed N])
+    sweep    Batch design-space plan (--networks a,b,... --arrays RxC,... --jobs N)
+                                     defaults: every zoo network, the Fig. 8(b)
+                                     array sizes, one worker per core
 
 OPTIONS:
     --array RxC     PIM array geometry, e.g. 512x512 (default 512x512)
     --network NAME  Zoo network name (see `vwsdk list`)
+    --networks A,B  Comma-separated zoo networks, or `all` (sweep)
+    --arrays L,M    Comma-separated array geometries (sweep)
+    --jobs N        Planning worker threads; 0 = one per core (sweep)
     --help          Show this text
 ";
 
@@ -109,6 +118,15 @@ pub enum Command {
         /// Data seed.
         seed: u64,
     },
+    /// `vwsdk sweep`
+    Sweep {
+        /// Zoo networks to plan.
+        networks: Vec<String>,
+        /// Array geometries to plan them on.
+        arrays: Vec<PimArray>,
+        /// Worker threads (0 = one per core).
+        jobs: usize,
+    },
     /// `vwsdk --help` (or no arguments).
     Help,
 }
@@ -148,8 +166,12 @@ impl LayerArgs {
     }
 
     fn build(&self) -> std::result::Result<ConvLayer, CliError> {
-        let input = self.input.ok_or_else(|| CliError::new("--input is required"))?;
-        let kernel = self.kernel.ok_or_else(|| CliError::new("--kernel is required"))?;
+        let input = self
+            .input
+            .ok_or_else(|| CliError::new("--input is required"))?;
+        let kernel = self
+            .kernel
+            .ok_or_else(|| CliError::new("--kernel is required"))?;
         let ic = self.ic.ok_or_else(|| CliError::new("--ic is required"))?;
         let oc = self.oc.ok_or_else(|| CliError::new("--oc is required"))?;
         ConvLayer::builder("cli-layer")
@@ -189,6 +211,10 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
     let mut top = 10usize;
     let mut seed = 2024u64;
     let mut algorithm = MappingAlgorithm::VwSdk;
+    let mut array_set = false;
+    let mut networks: Option<Vec<String>> = None;
+    let mut arrays: Option<Vec<PimArray>> = None;
+    let mut jobs = 0usize;
 
     let mut i = 1;
     while i < args.len() {
@@ -197,15 +223,37 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             "--array" => {
                 let v = take_value(args, &mut i, flag)?;
                 array = presets::parse_array(v).map_err(|e| CliError::new(e.to_string()))?;
+                array_set = true;
             }
             "--network" => network = Some(take_value(args, &mut i, flag)?.to_string()),
-            "--input" => layer_args.input = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?),
-            "--kernel" => layer_args.kernel = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?),
+            "--networks" => {
+                let v = take_value(args, &mut i, flag)?;
+                networks = Some(v.split(',').map(str::to_string).collect());
+            }
+            "--arrays" => {
+                let v = take_value(args, &mut i, flag)?;
+                arrays = Some(
+                    v.split(',')
+                        .map(|spec| {
+                            presets::parse_array(spec).map_err(|e| CliError::new(e.to_string()))
+                        })
+                        .collect::<std::result::Result<Vec<_>, _>>()?,
+                );
+            }
+            "--jobs" => jobs = parse_usize(take_value(args, &mut i, flag)?, flag)?,
+            "--input" => {
+                layer_args.input = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?)
+            }
+            "--kernel" => {
+                layer_args.kernel = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?)
+            }
             "--ic" => layer_args.ic = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?),
             "--oc" => layer_args.oc = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?),
             "--stride" => layer_args.stride = parse_usize(take_value(args, &mut i, flag)?, flag)?,
             "--padding" => layer_args.padding = parse_usize(take_value(args, &mut i, flag)?, flag)?,
-            "--dilation" => layer_args.dilation = parse_usize(take_value(args, &mut i, flag)?, flag)?,
+            "--dilation" => {
+                layer_args.dilation = parse_usize(take_value(args, &mut i, flag)?, flag)?
+            }
             "--top" => top = parse_usize(take_value(args, &mut i, flag)?, flag)?,
             "--algorithm" => {
                 let v = take_value(args, &mut i, flag)?;
@@ -250,6 +298,31 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             array,
             seed,
         }),
+        "sweep" => {
+            // Catch the singular spellings every other subcommand uses —
+            // silently falling back to the whole-zoo defaults would run a
+            // much larger, wrong sweep.
+            if network.is_some() {
+                return Err(CliError::new(
+                    "sweep takes --networks (plural, comma-separated), not --network",
+                ));
+            }
+            if array_set {
+                return Err(CliError::new(
+                    "sweep takes --arrays (plural, comma-separated), not --array",
+                ));
+            }
+            Ok(Command::Sweep {
+                networks: networks.unwrap_or_else(|| vec!["all".to_string()]),
+                arrays: arrays.unwrap_or_else(|| {
+                    presets::fig8b_sweep()
+                        .iter()
+                        .map(|preset| preset.array)
+                        .collect()
+                }),
+                jobs,
+            })
+        }
         other => Err(CliError::new(format!(
             "unknown command {other:?}; try `vwsdk --help`"
         ))),
@@ -262,6 +335,13 @@ fn lookup_network(name: &str) -> std::result::Result<pim_nets::Network, CliError
             "unknown network {name:?}; run `vwsdk list` for the zoo"
         ))
     })
+}
+
+fn resolve_networks(names: &[String]) -> std::result::Result<Vec<Network>, CliError> {
+    if names.iter().any(|n| n.eq_ignore_ascii_case("all")) {
+        return Ok(zoo::all());
+    }
+    names.iter().map(|name| lookup_network(name)).collect()
 }
 
 /// Executes a parsed command, returning its printable output.
@@ -341,7 +421,11 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Show { layer, array, algorithm } => {
+        Command::Show {
+            layer,
+            array,
+            algorithm,
+        } => {
             let plan = algorithm
                 .plan(layer, *array)
                 .map_err(|e| CliError::new(e.to_string()))?;
@@ -352,7 +436,59 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                 pim_mapping::layout::render_ascii(&layout, 48, 100)
             ))
         }
-        Command::Verify { network, array, seed } => {
+        Command::Sweep {
+            networks,
+            arrays,
+            jobs,
+        } => {
+            let resolved = resolve_networks(networks)?;
+            let engine = PlanningEngine::new().with_jobs(*jobs);
+            let reports = engine
+                .sweep_arrays(&resolved, arrays)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            let mut table = TextTable::new(&[
+                "network",
+                "array",
+                "im2col",
+                "SDK",
+                "VW-SDK",
+                "VW vs im2col",
+                "VW vs SDK",
+            ]);
+            for c in 2..7 {
+                table.align(c, Align::Right);
+            }
+            for report in &reports {
+                let im2col = report
+                    .total_cycles(MappingAlgorithm::Im2col)
+                    .expect("configured");
+                let sdk = report
+                    .total_cycles(MappingAlgorithm::Sdk)
+                    .expect("configured");
+                let vw = report
+                    .total_cycles(MappingAlgorithm::VwSdk)
+                    .expect("configured");
+                table.add_row(&[
+                    report.network_name().to_string(),
+                    report.array().to_string(),
+                    im2col.to_string(),
+                    sdk.to_string(),
+                    vw.to_string(),
+                    fmt_speedup(im2col as f64 / vw as f64),
+                    fmt_speedup(sdk as f64 / vw as f64),
+                ]);
+            }
+            Ok(format!(
+                "{}\nplanning cache: {}\n",
+                table.render(),
+                engine.stats()
+            ))
+        }
+        Command::Verify {
+            network,
+            array,
+            seed,
+        } => {
             let net = lookup_network(network)?;
             let mut out = format!("functional verification of {} on {array}:\n", net.name());
             for layer in &net {
@@ -365,7 +501,11 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                             "  {:<8} {:<8} {} ({} cycles)\n",
                             layer.name(),
                             alg.label(),
-                            if report.is_fully_consistent() { "ok" } else { "MISMATCH" },
+                            if report.is_fully_consistent() {
+                                "ok"
+                            } else {
+                                "MISMATCH"
+                            },
                             report.executed_cycles
                         )),
                         Err(e) => out.push_str(&format!(
@@ -483,7 +623,77 @@ mod tests {
         .unwrap();
         let out = run(&cmd).unwrap();
         assert!(out.contains('#'), "{out}");
-        assert!(parse(&argv("show --input 8 --kernel 3 --ic 1 --oc 2 --algorithm bogus")).is_err());
+        assert!(parse(&argv(
+            "show --input 8 --kernel 3 --ic 1 --oc 2 --algorithm bogus"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_defaults_cover_the_zoo_and_fig8b_arrays() {
+        let cmd = parse(&argv("sweep")).unwrap();
+        match &cmd {
+            Command::Sweep {
+                networks,
+                arrays,
+                jobs,
+            } => {
+                assert_eq!(networks, &["all".to_string()]);
+                assert_eq!(arrays.len(), 5);
+                assert_eq!(*jobs, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_parses_explicit_lists() {
+        let cmd = parse(&argv(
+            "sweep --networks vgg13,resnet18 --arrays 256x256,512x512 --jobs 4",
+        ))
+        .unwrap();
+        match &cmd {
+            Command::Sweep {
+                networks,
+                arrays,
+                jobs,
+            } => {
+                assert_eq!(networks.len(), 2);
+                assert_eq!(arrays[1].to_string(), "512x512");
+                assert_eq!(*jobs, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("sweep --arrays bogus")).is_err());
+    }
+
+    #[test]
+    fn sweep_rejects_the_singular_flag_spellings() {
+        let err = parse(&argv("sweep --network vgg13")).unwrap_err();
+        assert!(err.to_string().contains("--networks"), "{err}");
+        let err = parse(&argv("sweep --array 512x512")).unwrap_err();
+        assert!(err.to_string().contains("--arrays"), "{err}");
+    }
+
+    #[test]
+    fn sweep_reports_table1_cells_and_cache_stats() {
+        let cmd = parse(&argv(
+            "sweep --networks resnet18,vgg13 --arrays 512x512 --jobs 2",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("ResNet-18"), "{out}");
+        assert!(out.contains("20041"), "{out}");
+        assert!(out.contains("4294"), "{out}");
+        assert!(out.contains("4.67x"), "{out}");
+        assert!(out.contains("planning cache:"), "{out}");
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_networks() {
+        let cmd = parse(&argv("sweep --networks nonexistent")).unwrap();
+        let err = run(&cmd).unwrap_err();
+        assert!(err.to_string().contains("vwsdk list"));
     }
 
     #[test]

@@ -53,7 +53,11 @@ fn dilated_with_stride_and_padding_simulates_exactly() {
         .build()
         .unwrap();
     let a = PimArray::new(72, 40).unwrap();
-    for alg in [MappingAlgorithm::Im2col, MappingAlgorithm::VwSdk, MappingAlgorithm::Smd] {
+    for alg in [
+        MappingAlgorithm::Im2col,
+        MappingAlgorithm::VwSdk,
+        MappingAlgorithm::Smd,
+    ] {
         let plan = alg.plan(&l, a).unwrap();
         let report = verify_plan(&plan, 77).unwrap();
         assert!(report.is_fully_consistent(), "{alg}: {report:?}");

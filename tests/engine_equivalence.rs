@@ -1,0 +1,78 @@
+//! Equivalence property: the parallel, memoized [`PlanningEngine`]
+//! produces byte-identical `NetworkReport`s to the sequential
+//! [`Planner`] — and to planning every layer directly, with no engine at
+//! all — across zoo networks and array geometries from 128 to 1024
+//! rows/cols.
+//!
+//! This is the safety net under the whole batch-planning substrate:
+//! memoization may only ever change *when* a plan is computed, never
+//! *what* is returned, regardless of worker count, scheduling order or
+//! cache warmth.
+
+use proptest::prelude::*;
+use vw_sdk_repro::pim_arch::PimArray;
+use vw_sdk_repro::pim_nets::{zoo, Network};
+use vw_sdk_repro::vw_sdk::{Planner, PlanningEngine};
+
+fn network_strategy() -> impl Strategy<Value = Network> {
+    let all = zoo::all();
+    (0usize..all.len()).prop_map(move |i| all[i].clone())
+}
+
+fn array_strategy() -> impl Strategy<Value = PimArray> {
+    (128usize..1025, 128usize..1025).prop_map(|(r, c)| PimArray::new(r, c).expect("positive"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One shared engine plans two networks across two arrays in one
+    /// parallel batch; every report must be byte-identical to the
+    /// sequential Planner's, and every plan identical to direct,
+    /// engine-free planning.
+    #[test]
+    fn engine_reports_are_byte_identical_to_sequential_planner(
+        net_a in network_strategy(),
+        net_b in network_strategy(),
+        array_a in array_strategy(),
+        array_b in array_strategy(),
+        jobs in 2usize..9,
+    ) {
+        let engine = PlanningEngine::new().with_jobs(jobs);
+        let networks = [net_a, net_b];
+        let arrays = [array_a, array_b];
+        let batch = engine.sweep_arrays(&networks, &arrays).expect("planning is total");
+        prop_assert_eq!(batch.len(), 4);
+
+        let mut batch_iter = batch.iter();
+        for network in &networks {
+            for &array in &arrays {
+                let engine_report = batch_iter.next().expect("network-major order");
+                let sequential = Planner::new(array)
+                    .plan_network(network)
+                    .expect("planning is total");
+                prop_assert_eq!(engine_report, &sequential);
+                prop_assert_eq!(
+                    format!("{engine_report:?}"),
+                    format!("{sequential:?}")
+                );
+
+                // Against direct, engine-free planning of every layer.
+                for (layer, comparison) in network.layers().iter().zip(engine_report.layers()) {
+                    prop_assert_eq!(comparison.layer(), layer);
+                    for plan in comparison.plans() {
+                        let direct = plan
+                            .algorithm()
+                            .plan(layer, array)
+                            .expect("planning is total");
+                        prop_assert_eq!(plan, &direct);
+                    }
+                }
+            }
+        }
+
+        // Re-planning from the warm cache changes nothing.
+        let warm = engine.sweep_arrays(&networks, &arrays).expect("planning is total");
+        prop_assert_eq!(batch, warm);
+    }
+}

@@ -111,7 +111,11 @@ fn fig8b_speedup_grows_with_array_size() {
             // array (checked loosely: final > first).
             last_vw = vw;
         }
-        assert!(last_vw > 1.5, "{}: largest-array VW speedup {last_vw}", network.name());
+        assert!(
+            last_vw > 1.5,
+            "{}: largest-array VW speedup {last_vw}",
+            network.name()
+        );
     }
 }
 
