@@ -203,11 +203,59 @@ impl PlanningEngine {
     ///
     /// Propagates the first algorithm failure.
     pub fn plan_layer(&self, layer: &ConvLayer, array: PimArray) -> Result<LayerComparison> {
-        let mut plans = Vec::with_capacity(self.algorithms.len());
-        for &algorithm in &self.algorithms {
+        self.plan_layer_with(layer, array, &self.algorithms)
+    }
+
+    /// Plans one layer under an explicit algorithm set, sharing this
+    /// engine's caches. The request-serving tier uses this: one
+    /// process-wide engine answers queries for whatever algorithm subset
+    /// each request names, and every plan still lands in (or comes from)
+    /// the same shape-keyed cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first algorithm failure.
+    pub fn plan_layer_with(
+        &self,
+        layer: &ConvLayer,
+        array: PimArray,
+        algorithms: &[MappingAlgorithm],
+    ) -> Result<LayerComparison> {
+        let mut plans = Vec::with_capacity(algorithms.len());
+        for &algorithm in algorithms {
             plans.push(self.plan(layer, array, algorithm)?);
         }
         Ok(LayerComparison::from_parts(layer.clone(), plans))
+    }
+
+    /// Plans every layer of a network under an explicit algorithm set
+    /// (see [`PlanningEngine::plan_layer_with`]), fanning out across the
+    /// engine's workers. The report is byte-identical to what a
+    /// [`crate::Planner`] configured with the same algorithms produces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first planning failure.
+    pub fn plan_network_with(
+        &self,
+        network: &Network,
+        array: PimArray,
+        algorithms: &[MappingAlgorithm],
+    ) -> Result<NetworkReport> {
+        let tasks: Vec<&ConvLayer> = network.layers().iter().collect();
+        let planned = self.parallel_map(&tasks, |&layer| {
+            self.plan_layer_with(layer, array, algorithms)
+        });
+        let mut layers = Vec::with_capacity(network.len());
+        for comparison in planned {
+            layers.push(comparison?);
+        }
+        Ok(NetworkReport::from_parts(
+            network.name().to_string(),
+            array,
+            algorithms.to_vec(),
+            layers,
+        ))
     }
 
     /// Plans every layer of a network, fanning out across the engine's
@@ -293,6 +341,30 @@ impl PlanningEngine {
     /// The engine's search cache, for sharing with other consumers.
     pub fn search_cache(&self) -> &SearchCache {
         &self.searches
+    }
+
+    /// Bounds cache memory: when either cache holds more than
+    /// `max_entries`, it is cleared wholesale (counters are kept).
+    /// Returns `true` if anything was dropped.
+    ///
+    /// Plans and searches are pure functions of their keys, so clearing
+    /// only costs recomputation — which is what lets a long-running
+    /// service plan arbitrary user-supplied shapes forever without
+    /// unbounded growth.
+    pub fn shed_caches_over(&self, max_entries: usize) -> bool {
+        let mut shed = false;
+        {
+            let mut plans = self.plans.write().expect("plan cache lock poisoned");
+            if plans.len() > max_entries {
+                plans.clear();
+                shed = true;
+            }
+        }
+        if self.searches.len() > max_entries {
+            self.searches.clear();
+            shed = true;
+        }
+        shed
     }
 
     /// Current cache counters.
@@ -472,6 +544,63 @@ mod tests {
         let text = engine.stats().to_string();
         assert!(text.contains("plans:"), "{text}");
         assert!(text.contains("searches:"), "{text}");
+    }
+
+    #[test]
+    fn per_call_algorithm_sets_share_one_cache() {
+        let engine = PlanningEngine::with_algorithms(&MappingAlgorithm::all());
+        let trio = MappingAlgorithm::paper_trio();
+        let report = engine
+            .plan_network_with(&zoo::resnet18_table1(), arr(512, 512), &trio)
+            .unwrap();
+        assert_eq!(
+            report,
+            Planner::new(arr(512, 512))
+                .plan_network(&zoo::resnet18_table1())
+                .unwrap()
+        );
+        assert_eq!(report.algorithms(), &trio);
+        // A second call under the full algorithm set reuses every
+        // trio plan already cached.
+        let misses_before = engine.stats().plan_misses;
+        let full = engine
+            .plan_network_with(
+                &zoo::resnet18_table1(),
+                arr(512, 512),
+                &MappingAlgorithm::all(),
+            )
+            .unwrap();
+        assert_eq!(full.total_cycles(MappingAlgorithm::VwSdk), Some(4_294));
+        let stats = engine.stats();
+        assert!(stats.plan_hits > 0);
+        // Only the non-trio algorithms can miss on the second pass.
+        assert!(stats.plan_misses - misses_before <= 4 * 5);
+    }
+
+    #[test]
+    fn plan_layer_with_matches_direct_planning() {
+        let engine = PlanningEngine::new();
+        let layer = ConvLayer::square("c", 14, 3, 256, 256).unwrap();
+        let cmp = engine
+            .plan_layer_with(&layer, arr(512, 512), &[MappingAlgorithm::Smd])
+            .unwrap();
+        assert_eq!(cmp.plans().len(), 1);
+        assert_eq!(
+            cmp.plans()[0],
+            MappingAlgorithm::Smd.plan(&layer, arr(512, 512)).unwrap()
+        );
+    }
+
+    #[test]
+    fn shedding_bounds_cache_size_without_changing_answers() {
+        let engine = PlanningEngine::new();
+        let first = engine.plan_network(&zoo::vgg13(), arr(512, 512)).unwrap();
+        assert!(!engine.shed_caches_over(1_000)); // under the cap: kept
+        assert!(engine.stats().plan_entries > 0);
+        assert!(engine.shed_caches_over(0)); // over the cap: cleared
+        assert_eq!(engine.stats().plan_entries, 0);
+        let second = engine.plan_network(&zoo::vgg13(), arr(512, 512)).unwrap();
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -128,6 +128,19 @@ impl SearchCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Drops every stored result (hit/miss counters are kept).
+    ///
+    /// Long-lived consumers — the serving tier plans arbitrary
+    /// user-supplied shapes for the lifetime of the process — use this
+    /// to bound memory: results are recomputable, so wholesale clearing
+    /// trades a few re-searches for a hard cap.
+    pub fn clear(&self) {
+        self.results
+            .write()
+            .expect("search cache lock poisoned")
+            .clear();
+    }
 }
 
 #[cfg(test)]

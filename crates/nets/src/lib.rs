@@ -9,7 +9,10 @@
 //! * [`Network`] — an ordered, named collection of layers;
 //! * [`zoo`] — the networks evaluated by the paper (VGG-13 and ResNet-18
 //!   exactly as listed in Table I) plus additional nets for extension
-//!   studies (VGG-16, AlexNet, LeNet-5, a MobileNet-style depthwise stack).
+//!   studies (VGG-16, AlexNet, LeNet-5, a MobileNet-style depthwise stack);
+//! * [`spec`] — the declarative JSON [`NetworkSpec`] format through which
+//!   the planning service and the CLI's `--spec` flag accept
+//!   user-defined networks.
 //!
 //! # Example
 //!
@@ -28,10 +31,12 @@
 
 mod layer;
 mod network;
+pub mod spec;
 pub mod zoo;
 
 pub use layer::{ConvLayer, ConvLayerBuilder, LayerShape};
 pub use network::Network;
+pub use spec::{LayerSpec, NetworkSpec};
 
 use std::error::Error;
 use std::fmt;

@@ -1,10 +1,12 @@
-//! Plain-text experiment output: aligned tables, CSV and ASCII charts.
+//! Plain-text experiment output — aligned tables, CSV, ASCII charts —
+//! plus the workspace's [`json`] subsystem.
 //!
 //! The experiment binaries in `vw-sdk-bench` regenerate every table and
 //! figure of the paper; this crate renders their data. Everything is
 //! hand-rolled on purpose — the workspace's dependency policy (DESIGN.md
-//! §6) avoids serialization frameworks for what is, in the end, aligned
-//! text.
+//! §6) avoids serialization frameworks, so the [`json`] module carries
+//! its own parser and serializer, shared by the network-spec loader in
+//! `pim-nets`, the `vw-sdk-serve` HTTP daemon and the `vwsdk` CLI.
 //!
 //! # Example
 //!
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod json;
 pub mod table;
 
 /// Formats a float with the given number of decimals, trimming `-0.00`.

@@ -1,0 +1,287 @@
+//! JSON views of the planning domain — the service's wire schema.
+//!
+//! Every conversion here is a pure, deterministic function of its
+//! input, which is what makes the server's headline guarantee testable:
+//! a plan rendered by the daemon is byte-identical to the same plan
+//! rendered in-process from a [`vw_sdk::Planner`] report. The `vwsdk
+//! sweep --format json` CLI path reuses these functions, so file output
+//! and wire output agree byte-for-byte too.
+
+use pim_arch::{presets, PimArray};
+use pim_mapping::{MappingAlgorithm, MappingPlan};
+use pim_report::fmt_f64;
+use pim_report::json::JsonValue;
+use vw_sdk::{EngineStats, LayerComparison, NetworkReport};
+
+/// Parses an algorithm label (case-insensitive, as printed by
+/// [`MappingAlgorithm::label`]).
+///
+/// # Errors
+///
+/// Returns the list of valid labels for unknown names.
+pub fn algorithm_by_label(label: &str) -> Result<MappingAlgorithm, String> {
+    MappingAlgorithm::all()
+        .into_iter()
+        .find(|a| a.label().eq_ignore_ascii_case(label))
+        .ok_or_else(|| {
+            let known: Vec<&str> = MappingAlgorithm::all().iter().map(|a| a.label()).collect();
+            format!("unknown algorithm {label:?}; expected one of {known:?}")
+        })
+}
+
+/// Parses the request's `"array"` member: either an `"RxC"` string or a
+/// `{"rows": R, "cols": C}` object.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed field.
+pub fn array_from_json(value: &JsonValue) -> Result<PimArray, String> {
+    match value {
+        JsonValue::String(text) => presets::parse_array(text).map_err(|e| e.to_string()),
+        JsonValue::Object(_) => {
+            let rows = value
+                .get("rows")
+                .and_then(JsonValue::as_usize)
+                .ok_or("array object needs integer \"rows\"")?;
+            let cols = value
+                .get("cols")
+                .and_then(JsonValue::as_usize)
+                .ok_or("array object needs integer \"cols\"")?;
+            PimArray::new(rows, cols).map_err(|e| e.to_string())
+        }
+        _ => Err("\"array\" must be an \"RxC\" string or {\"rows\", \"cols\"}".to_string()),
+    }
+}
+
+/// Speedup rounded to the paper's two decimals, as a JSON number.
+fn speedup_number(ratio: f64) -> JsonValue {
+    // Render through fmt_f64 so "4.67" the table prints and 4.67 the
+    // API returns are the same rounding of the same ratio.
+    JsonValue::Number(fmt_f64(ratio, 2).parse::<f64>().unwrap_or(ratio))
+}
+
+/// One mapping plan as JSON: window, tiling, cycle breakdown.
+pub fn plan_json(plan: &MappingPlan) -> JsonValue {
+    JsonValue::object([
+        ("algorithm", JsonValue::from(plan.algorithm().label())),
+        ("window", JsonValue::from(plan.window().to_string())),
+        ("descriptor", JsonValue::from(plan.descriptor())),
+        ("tiled_ic", plan.tiled_ic().into()),
+        ("tiled_oc", plan.tiled_oc().into()),
+        ("windows_in_pw", plan.windows_in_pw().into()),
+        ("parallel_windows", plan.n_parallel_windows().into()),
+        ("duplication", plan.duplication().into()),
+        ("ar_cycles", plan.ar_cycles().into()),
+        ("ac_cycles", plan.ac_cycles().into()),
+        ("cycles", plan.cycles().into()),
+    ])
+}
+
+/// One layer's comparison: the layer descriptor plus every plan.
+pub fn layer_json(comparison: &LayerComparison) -> JsonValue {
+    let layer = comparison.layer();
+    JsonValue::object([
+        ("layer", JsonValue::from(layer.name())),
+        ("shape", JsonValue::from(layer.to_string())),
+        (
+            "plans",
+            JsonValue::array(comparison.plans().iter().map(plan_json)),
+        ),
+    ])
+}
+
+/// Totals and cross-algorithm speedups of one report.
+fn totals_json(report: &NetworkReport) -> (JsonValue, JsonValue) {
+    let totals = JsonValue::Object(
+        report
+            .algorithms()
+            .iter()
+            .filter_map(|&alg| {
+                report
+                    .total_cycles(alg)
+                    .map(|cycles| (alg.label().to_string(), cycles.into()))
+            })
+            .collect(),
+    );
+    let mut speedups = Vec::new();
+    for &alg in report.algorithms() {
+        for &baseline in report.algorithms() {
+            if alg == baseline {
+                continue;
+            }
+            if let Some(ratio) = report.speedup(alg, baseline) {
+                speedups.push(JsonValue::object([
+                    ("algorithm", JsonValue::from(alg.label())),
+                    ("baseline", JsonValue::from(baseline.label())),
+                    ("speedup", speedup_number(ratio)),
+                ]));
+            }
+        }
+    }
+    (totals, JsonValue::Array(speedups))
+}
+
+/// A full network report: identity, per-layer plans, totals, speedups.
+/// This is the payload `POST /v1/plan` answers with.
+pub fn report_json(report: &NetworkReport) -> JsonValue {
+    let (totals, speedups) = totals_json(report);
+    JsonValue::object([
+        ("network", JsonValue::from(report.network_name())),
+        ("array", JsonValue::from(report.array().to_string())),
+        (
+            "layers",
+            JsonValue::array(report.layers().iter().map(layer_json)),
+        ),
+        ("totals", totals),
+        ("speedups", speedups),
+    ])
+}
+
+/// A condensed report — identity, totals, speedups, no per-layer detail.
+/// `POST /v1/sweep` and `vwsdk sweep --format json` emit lists of these.
+pub fn report_summary_json(report: &NetworkReport) -> JsonValue {
+    let (totals, speedups) = totals_json(report);
+    JsonValue::object([
+        ("network", JsonValue::from(report.network_name())),
+        ("array", JsonValue::from(report.array().to_string())),
+        ("totals", totals),
+        ("speedups", speedups),
+    ])
+}
+
+/// The sweep schema — `{"reports": [summary...], "cache": {...}}` —
+/// shared by `POST /v1/sweep` and `vwsdk sweep --format json`, so the
+/// wire format and the CLI's file format cannot drift apart.
+pub fn sweep_json(reports: &[NetworkReport], stats: &EngineStats) -> JsonValue {
+    JsonValue::object([
+        (
+            "reports",
+            JsonValue::array(reports.iter().map(report_summary_json)),
+        ),
+        ("cache", stats_json(stats)),
+    ])
+}
+
+/// Cache counters as JSON (the service's cache-hit stats).
+pub fn stats_json(stats: &EngineStats) -> JsonValue {
+    JsonValue::object([
+        ("plan_hits", stats.plan_hits.into()),
+        ("plan_misses", stats.plan_misses.into()),
+        ("plan_entries", stats.plan_entries.into()),
+        ("search_hits", stats.search_hits.into()),
+        ("search_misses", stats.search_misses.into()),
+        ("search_entries", stats.search_entries.into()),
+    ])
+}
+
+/// The uniform error body: `{"error": {"status": S, "message": M}}`.
+pub fn error_json(status: u16, message: &str) -> JsonValue {
+    JsonValue::object([(
+        "error",
+        JsonValue::object([
+            ("status", JsonValue::from(u64::from(status))),
+            ("message", JsonValue::from(message)),
+        ]),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nets::zoo;
+    use vw_sdk::Planner;
+
+    fn arr(r: usize, c: usize) -> PimArray {
+        PimArray::new(r, c).unwrap()
+    }
+
+    #[test]
+    fn algorithm_labels_round_trip() {
+        for alg in MappingAlgorithm::all() {
+            assert_eq!(algorithm_by_label(alg.label()).unwrap(), alg);
+        }
+        assert_eq!(
+            algorithm_by_label("VW-SDK").unwrap(),
+            MappingAlgorithm::VwSdk
+        );
+        assert!(algorithm_by_label("bogus").unwrap_err().contains("im2col"));
+    }
+
+    #[test]
+    fn arrays_parse_from_both_forms() {
+        let s = array_from_json(&JsonValue::from("512x256")).unwrap();
+        assert_eq!((s.rows(), s.cols()), (512, 256));
+        let o = array_from_json(&JsonValue::object([
+            ("rows", 128usize.into()),
+            ("cols", 256usize.into()),
+        ]))
+        .unwrap();
+        assert_eq!((o.rows(), o.cols()), (128, 256));
+        assert!(array_from_json(&JsonValue::from("roxc")).is_err());
+        assert!(array_from_json(&JsonValue::Number(5.0)).is_err());
+        assert!(array_from_json(&JsonValue::object([("rows", 5usize.into())])).is_err());
+    }
+
+    #[test]
+    fn report_json_carries_table1_facts() {
+        let report = Planner::new(arr(512, 512))
+            .plan_network(&zoo::resnet18_table1())
+            .unwrap();
+        let json = report_json(&report);
+        assert_eq!(
+            json.get("network").and_then(JsonValue::as_str),
+            Some("ResNet-18")
+        );
+        assert_eq!(
+            json.get("totals")
+                .and_then(|t| t.get("VW-SDK"))
+                .and_then(JsonValue::as_u64),
+            Some(4294)
+        );
+        let speedups = json.get("speedups").and_then(JsonValue::as_array).unwrap();
+        let headline = speedups
+            .iter()
+            .find(|s| {
+                s.get("algorithm").and_then(JsonValue::as_str) == Some("VW-SDK")
+                    && s.get("baseline").and_then(JsonValue::as_str) == Some("im2col")
+            })
+            .unwrap();
+        assert_eq!(
+            headline.get("speedup").and_then(JsonValue::as_f64),
+            Some(4.67)
+        );
+        // conv4 appears with the paper's 4x3x42x256 descriptor.
+        assert!(json.render().contains("4x3x42x256"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let report = Planner::new(arr(256, 256))
+            .plan_network(&zoo::tiny())
+            .unwrap();
+        assert_eq!(report_json(&report).render(), report_json(&report).render());
+        assert_eq!(
+            report_summary_json(&report).render(),
+            report_summary_json(&report).render()
+        );
+    }
+
+    #[test]
+    fn summary_drops_layers_but_keeps_totals() {
+        let report = Planner::new(arr(256, 256))
+            .plan_network(&zoo::tiny())
+            .unwrap();
+        let summary = report_summary_json(&report);
+        assert!(summary.get("layers").is_none());
+        assert!(summary.get("totals").is_some());
+    }
+
+    #[test]
+    fn error_body_is_structured() {
+        let e = error_json(404, "no such route");
+        assert_eq!(
+            e.render(),
+            r#"{"error":{"status":404,"message":"no such route"}}"#
+        );
+    }
+}

@@ -1,0 +1,531 @@
+//! Request handlers: JSON in, planning engine, JSON out.
+//!
+//! Every handler is a pure function from a parsed request to a
+//! `(status, JsonValue)` pair — no I/O — so the whole API surface is
+//! unit-testable without opening a socket. Status discipline:
+//!
+//! * `400` — the body is not JSON, or a field has the wrong type;
+//! * `422` — well-formed JSON naming something impossible (unknown
+//!   network or algorithm, a spec whose geometry cannot build);
+//! * `200` — a planned result, always including cache-hit statistics.
+
+use crate::api;
+use crate::state::ServerState;
+use pim_arch::{presets, PimArray};
+use pim_mapping::MappingAlgorithm;
+use pim_nets::{zoo, Network, NetworkSpec};
+use pim_report::json::JsonValue;
+
+/// A handler failure: the 4xx status plus a message for the error body.
+type HandlerError = (u16, String);
+
+/// Largest input/kernel axis an untrusted spec may name. Window search
+/// cost grows with the padded input area, so without a bound one
+/// request with a 10^9-wide layer pins a worker for hours; 16384 covers
+/// every real CNN with two orders of magnitude to spare.
+const MAX_SPEC_DIM: usize = 16_384;
+/// Largest channel count an untrusted spec may name.
+const MAX_SPEC_CHANNELS: usize = 65_536;
+/// Largest array axis a request may name.
+const MAX_ARRAY_DIM: usize = 65_536;
+
+fn bad_request(message: impl Into<String>) -> HandlerError {
+    (400, message.into())
+}
+
+fn unprocessable(message: impl Into<String>) -> HandlerError {
+    (422, message.into())
+}
+
+/// `GET /healthz`.
+pub fn healthz(state: &ServerState) -> JsonValue {
+    JsonValue::object([
+        ("status", JsonValue::from("ok")),
+        ("requests", state.requests_served().into()),
+        ("jobs", state.pool_size().into()),
+        ("cache", api::stats_json(&state.engine().stats())),
+    ])
+}
+
+/// `GET /v1/networks`.
+pub fn networks() -> JsonValue {
+    JsonValue::object([(
+        "networks",
+        JsonValue::array(zoo::all().iter().map(|net| {
+            JsonValue::object([
+                ("name", JsonValue::from(net.name())),
+                ("layers", net.len().into()),
+                ("params", net.total_params().into()),
+                ("macs", net.total_macs().into()),
+            ])
+        })),
+    )])
+}
+
+/// Parses the request body as a JSON object, rejecting everything else.
+fn parse_body(body: &[u8]) -> Result<JsonValue, HandlerError> {
+    let text = std::str::from_utf8(body).map_err(|_| bad_request("request body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(bad_request("request body is empty; expected a JSON object"));
+    }
+    let value = JsonValue::parse(text).map_err(|e| bad_request(e.to_string()))?;
+    if value.as_object().is_none() {
+        return Err(bad_request("request body must be a JSON object"));
+    }
+    Ok(value)
+}
+
+/// Rejects bodies containing keys outside `known` — catching typos like
+/// `"newtork"` instead of silently planning the default.
+fn check_known_fields(body: &JsonValue, known: &[&str]) -> Result<(), HandlerError> {
+    for (key, _) in body.as_object().expect("checked by parse_body") {
+        if !known.contains(&key.as_str()) {
+            return Err(bad_request(format!(
+                "unknown field {key:?}; expected one of {known:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Resolves the optional `"algorithms"` list (default: the paper trio).
+fn algorithms_field(body: &JsonValue) -> Result<Vec<MappingAlgorithm>, HandlerError> {
+    let Some(value) = body.get("algorithms") else {
+        return Ok(MappingAlgorithm::paper_trio().to_vec());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| bad_request("\"algorithms\" must be an array of labels"))?;
+    if items.is_empty() {
+        return Err(bad_request(
+            "\"algorithms\" must name at least one algorithm",
+        ));
+    }
+    let mut algorithms = Vec::with_capacity(items.len());
+    for item in items {
+        let label = item
+            .as_str()
+            .ok_or_else(|| bad_request("\"algorithms\" entries must be strings"))?;
+        let algorithm = api::algorithm_by_label(label).map_err(unprocessable)?;
+        if !algorithms.contains(&algorithm) {
+            algorithms.push(algorithm);
+        }
+    }
+    Ok(algorithms)
+}
+
+/// Parses one array value and enforces the service's size limit.
+fn checked_array(value: &JsonValue) -> Result<PimArray, HandlerError> {
+    let array = api::array_from_json(value).map_err(bad_request)?;
+    if array.rows() > MAX_ARRAY_DIM || array.cols() > MAX_ARRAY_DIM {
+        return Err(unprocessable(format!(
+            "array {array} exceeds the service limit of {MAX_ARRAY_DIM} rows/cols"
+        )));
+    }
+    Ok(array)
+}
+
+/// Resolves one `"array"` member (default: the paper's 512×512).
+fn array_field(body: &JsonValue) -> Result<PimArray, HandlerError> {
+    match body.get("array") {
+        None => Ok(PimArray::new(512, 512).expect("positive default")),
+        Some(value) => checked_array(value),
+    }
+}
+
+/// Looks up a zoo network, answering 422 with the zoo listing hint.
+fn zoo_network(name: &str) -> Result<Network, HandlerError> {
+    zoo::by_name(name).ok_or_else(|| {
+        unprocessable(format!(
+            "unknown network {name:?}; GET /v1/networks lists the zoo"
+        ))
+    })
+}
+
+/// Builds a network from an inline spec value (422 on invalid specs).
+///
+/// Beyond structural validity, untrusted specs are bounded in
+/// magnitude: planning cost scales with the input area and channel
+/// counts, so unbounded dimensions would let one request monopolize a
+/// worker (and overflow cycle arithmetic).
+fn spec_network(value: &JsonValue) -> Result<Network, HandlerError> {
+    let spec = NetworkSpec::from_json(value).map_err(|e| unprocessable(e.to_string()))?;
+    for (index, layer) in spec.layers.iter().enumerate() {
+        let dims = [
+            layer.input_h,
+            layer.input_w,
+            layer.kernel_h,
+            layer.kernel_w,
+            layer.padding,
+            layer.stride,
+            layer.dilation,
+        ];
+        if dims.iter().any(|&d| d > MAX_SPEC_DIM) {
+            return Err(unprocessable(format!(
+                "layers[{index}] ({:?}): dimensions exceed the service limit of {MAX_SPEC_DIM}",
+                layer.name
+            )));
+        }
+        if layer.in_channels > MAX_SPEC_CHANNELS || layer.out_channels > MAX_SPEC_CHANNELS {
+            return Err(unprocessable(format!(
+                "layers[{index}] ({:?}): channels exceed the service limit of {MAX_SPEC_CHANNELS}",
+                layer.name
+            )));
+        }
+    }
+    spec.to_network().map_err(|e| unprocessable(e.to_string()))
+}
+
+/// `POST /v1/plan` — body: `{"network": NAME | "spec": {...},
+/// "array"?: "RxC" | {"rows","cols"}, "algorithms"?: [LABEL, ...]}`.
+pub fn plan(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError> {
+    let body = parse_body(body)?;
+    check_known_fields(&body, &["network", "spec", "array", "algorithms"])?;
+    let network = match (body.get("network"), body.get("spec")) {
+        (Some(_), Some(_)) => {
+            return Err(bad_request("give either \"network\" or \"spec\", not both"))
+        }
+        (None, None) => {
+            return Err(bad_request(
+                "a plan request needs \"network\" (zoo name) or \"spec\" (inline network)",
+            ))
+        }
+        (Some(name), None) => {
+            let name = name
+                .as_str()
+                .ok_or_else(|| bad_request("\"network\" must be a string"))?;
+            zoo_network(name)?
+        }
+        (None, Some(spec)) => spec_network(spec)?,
+    };
+    let array = array_field(&body)?;
+    let algorithms = algorithms_field(&body)?;
+    let report = state
+        .engine()
+        .plan_network_with(&network, array, &algorithms)
+        .map_err(|e| unprocessable(e.to_string()))?;
+    state.trim_caches();
+    let mut response = api::report_json(&report);
+    if let JsonValue::Object(members) = &mut response {
+        members.push((
+            "cache".to_string(),
+            api::stats_json(&state.engine().stats()),
+        ));
+    }
+    Ok(response)
+}
+
+/// `POST /v1/sweep` — body: `{"networks"?: [NAME, ...] | "all",
+/// "specs"?: [{...}, ...], "arrays"?: ["RxC", ...], "algorithms"?}`.
+/// Defaults: the whole zoo × the paper's Fig. 8(b) array sizes.
+pub fn sweep(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError> {
+    let body = parse_body(body)?;
+    check_known_fields(&body, &["networks", "specs", "arrays", "algorithms"])?;
+
+    let mut networks: Vec<Network> = Vec::new();
+    match body.get("networks") {
+        None => {}
+        Some(JsonValue::String(all)) if all.eq_ignore_ascii_case("all") => {
+            networks.extend(zoo::all());
+        }
+        Some(JsonValue::Array(items)) => {
+            for item in items {
+                let name = item
+                    .as_str()
+                    .ok_or_else(|| bad_request("\"networks\" entries must be strings"))?;
+                networks.push(zoo_network(name)?);
+            }
+        }
+        Some(_) => {
+            return Err(bad_request(
+                "\"networks\" must be an array of zoo names or the string \"all\"",
+            ))
+        }
+    }
+    if let Some(specs) = body.get("specs") {
+        let items = specs
+            .as_array()
+            .ok_or_else(|| bad_request("\"specs\" must be an array of network specs"))?;
+        for item in items {
+            networks.push(spec_network(item)?);
+        }
+    }
+    if networks.is_empty() {
+        if body.get("networks").is_some() || body.get("specs").is_some() {
+            return Err(bad_request("the sweep names no networks"));
+        }
+        networks = zoo::all();
+    }
+
+    let arrays: Vec<PimArray> = match body.get("arrays") {
+        None => presets::fig8b_sweep().iter().map(|p| p.array).collect(),
+        Some(JsonValue::Array(items)) if !items.is_empty() => {
+            items.iter().map(checked_array).collect::<Result<_, _>>()?
+        }
+        Some(_) => {
+            return Err(bad_request(
+                "\"arrays\" must be a non-empty array of geometries",
+            ))
+        }
+    };
+    let algorithms = algorithms_field(&body)?;
+
+    let mut reports = Vec::with_capacity(networks.len() * arrays.len());
+    for network in &networks {
+        for &array in &arrays {
+            reports.push(
+                state
+                    .engine()
+                    .plan_network_with(network, array, &algorithms)
+                    .map_err(|e| unprocessable(e.to_string()))?,
+            );
+        }
+    }
+    state.trim_caches();
+    Ok(api::sweep_json(&reports, &state.engine().stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_sdk::Planner;
+
+    fn state() -> ServerState {
+        ServerState::new(2)
+    }
+
+    fn plan_body(text: &str) -> Result<JsonValue, HandlerError> {
+        plan(&state(), text.as_bytes())
+    }
+
+    #[test]
+    fn healthz_reports_ok_and_cache() {
+        let s = state();
+        let v = healthz(&s);
+        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("ok"));
+        assert!(v.get("cache").is_some());
+    }
+
+    #[test]
+    fn networks_lists_the_zoo() {
+        let v = networks();
+        let list = v.get("networks").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(list.len(), zoo::all().len());
+        assert!(v.render().contains("ResNet-18"));
+    }
+
+    #[test]
+    fn plan_zoo_network_matches_in_process_planner() {
+        let response = plan_body(r#"{"network": "resnet18", "array": "512x512"}"#).unwrap();
+        let report = Planner::new(PimArray::new(512, 512).unwrap())
+            .plan_network(&zoo::resnet18_table1())
+            .unwrap();
+        // Identical except the appended cache member.
+        let mut members = match response {
+            JsonValue::Object(m) => m,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert_eq!(members.pop().unwrap().0, "cache");
+        assert_eq!(
+            JsonValue::Object(members).render(),
+            api::report_json(&report).render()
+        );
+    }
+
+    #[test]
+    fn plan_inline_spec_and_algorithm_choice() {
+        let response = plan_body(
+            r#"{"spec": {"name": "mini", "layers": [
+                   {"input": 8, "kernel": 3, "in_channels": 2, "out_channels": 4}
+               ]},
+               "array": {"rows": 64, "cols": 64},
+               "algorithms": ["VW-SDK"]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            response.get("network").and_then(JsonValue::as_str),
+            Some("mini")
+        );
+        assert_eq!(
+            response.get("array").and_then(JsonValue::as_str),
+            Some("64x64")
+        );
+        let layers = response
+            .get("layers")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(layers.len(), 1);
+        let plans = layers[0]
+            .get("plans")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(plans.len(), 1);
+        assert_eq!(
+            plans[0].get("algorithm").and_then(JsonValue::as_str),
+            Some("VW-SDK")
+        );
+    }
+
+    #[test]
+    fn plan_defaults_to_paper_trio_on_512() {
+        let response = plan_body(r#"{"network": "tiny"}"#).unwrap();
+        assert_eq!(
+            response.get("array").and_then(JsonValue::as_str),
+            Some("512x512")
+        );
+        let plans = response
+            .get("layers")
+            .and_then(JsonValue::as_array)
+            .unwrap()[0]
+            .get("plans")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(plans.len(), 3);
+    }
+
+    #[test]
+    fn malformed_bodies_are_400() {
+        assert_eq!(plan_body("not json").unwrap_err().0, 400);
+        assert_eq!(plan_body("").unwrap_err().0, 400);
+        assert_eq!(plan_body("[1,2]").unwrap_err().0, 400);
+        assert_eq!(plan_body(r#"{"network": 5}"#).unwrap_err().0, 400);
+        assert_eq!(
+            plan_body(r#"{"network": "tiny", "newtork": "x"}"#)
+                .unwrap_err()
+                .0,
+            400
+        );
+        assert_eq!(
+            plan_body(r#"{"network": "tiny", "spec": {}}"#)
+                .unwrap_err()
+                .0,
+            400
+        );
+        assert_eq!(plan_body(r#"{}"#).unwrap_err().0, 400);
+        assert_eq!(
+            plan_body(r#"{"network": "tiny", "array": "nope"}"#)
+                .unwrap_err()
+                .0,
+            400
+        );
+        let err = plan(&state(), &[0xff, 0xfe]).unwrap_err();
+        assert_eq!(err.0, 400);
+    }
+
+    #[test]
+    fn impossible_requests_are_422() {
+        let (status, message) = plan_body(r#"{"network": "nonexistent"}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("/v1/networks"), "{message}");
+        let (status, message) = plan_body(
+            r#"{"spec": {"name": "bad", "layers": [
+                   {"input": 2, "kernel": 9, "in_channels": 1, "out_channels": 1}
+               ]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("exceeds"), "{message}");
+        let (status, _) =
+            plan_body(r#"{"network": "tiny", "algorithms": ["warp-drive"]}"#).unwrap_err();
+        assert_eq!(status, 422);
+    }
+
+    #[test]
+    fn oversized_specs_and_arrays_are_shed_with_422() {
+        // A 10^9-wide layer would pin a worker for hours; the service
+        // bounds magnitudes before planning starts.
+        let (status, message) = plan_body(
+            r#"{"spec": {"name": "huge", "layers": [
+                   {"input": 1000000000, "kernel": 3, "in_channels": 1, "out_channels": 1}
+               ]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("service limit"), "{message}");
+        let (status, _) = plan_body(
+            r#"{"spec": {"name": "wide", "layers": [
+                   {"input": 8, "kernel": 3, "in_channels": 1, "out_channels": 100000000}
+               ]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(status, 422);
+        let (status, message) =
+            plan_body(r#"{"network": "tiny", "array": "1000000x1000000"}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("service limit"), "{message}");
+        let s = state();
+        assert_eq!(
+            sweep(&s, br#"{"networks": ["tiny"], "arrays": ["1000000x8"]}"#)
+                .unwrap_err()
+                .0,
+            422
+        );
+    }
+
+    #[test]
+    fn sweep_defaults_cover_zoo_and_fig8b() {
+        let s = state();
+        let response = sweep(
+            &s,
+            br#"{"networks": ["tiny"], "arrays": ["64x64", "128x128"]}"#,
+        )
+        .unwrap();
+        let reports = response
+            .get("reports")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        let full = sweep(&s, b"{}").unwrap();
+        let reports = full.get("reports").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(reports.len(), zoo::all().len() * 5);
+        assert!(full.get("cache").is_some());
+    }
+
+    #[test]
+    fn sweep_mixes_zoo_and_specs() {
+        let s = state();
+        let response = sweep(
+            &s,
+            br#"{"networks": ["tiny"],
+                 "specs": [{"name": "inline", "layers": [
+                     {"input": 8, "kernel": 3, "in_channels": 1, "out_channels": 2}
+                 ]}],
+                 "arrays": ["64x64"]}"#,
+        )
+        .unwrap();
+        let reports = response
+            .get("reports")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(
+            reports[1].get("network").and_then(JsonValue::as_str),
+            Some("inline")
+        );
+    }
+
+    #[test]
+    fn sweep_rejects_malformed_shapes() {
+        let s = state();
+        assert_eq!(sweep(&s, b"{\"arrays\": []}").unwrap_err().0, 400);
+        assert_eq!(sweep(&s, b"{\"networks\": \"some\"}").unwrap_err().0, 400);
+        assert_eq!(sweep(&s, b"{\"networks\": []}").unwrap_err().0, 400);
+        assert_eq!(
+            sweep(&s, br#"{"networks": ["nonexistent"]}"#)
+                .unwrap_err()
+                .0,
+            422
+        );
+    }
+
+    #[test]
+    fn repeated_plans_hit_the_shared_cache() {
+        let s = state();
+        plan(&s, br#"{"network": "resnet18"}"#).unwrap();
+        let first = s.engine().stats();
+        plan(&s, br#"{"network": "resnet18"}"#).unwrap();
+        let second = s.engine().stats();
+        assert_eq!(first.plan_misses, second.plan_misses);
+        assert!(second.plan_hits > first.plan_hits);
+    }
+}

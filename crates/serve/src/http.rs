@@ -1,0 +1,362 @@
+//! A minimal, defensive HTTP/1.1 request parser and response writer.
+//!
+//! Exactly the slice of HTTP the planning service needs: one request
+//! per connection (`Connection: close` is always answered), methods
+//! GET/POST, `Content-Length`-framed bodies, and hard limits on every
+//! dimension of the input so a hostile client cannot balloon memory:
+//!
+//! * request line ≤ 8 KiB, ≤ 64 header lines of ≤ 8 KiB each,
+//! * bodies ≤ 1 MiB (larger requests get `413 Payload Too Large`),
+//! * `Transfer-Encoding: chunked` is refused with `411 Length Required`.
+//!
+//! Parse failures carry the HTTP status the caller should answer with,
+//! so malformed requests turn into structured 4xx responses instead of
+//! dropped connections.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::time::Instant;
+
+/// Upper bound on one header or request line, bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of header lines.
+const MAX_HEADERS: usize = 64;
+/// Upper bound on a request body, bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A failure while reading a request, tagged with the status code the
+/// server should answer with.
+#[derive(Debug)]
+pub struct HttpError {
+    /// HTTP status to answer with (400, 411, 413, 505…).
+    pub status: u16,
+    /// Human-readable reason, sent back in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component, percent-decoding *not* applied (the API's paths
+    /// are plain ASCII); any `?query` suffix is split off.
+    pub path: String,
+    /// Raw query string, without the `?` (empty if absent).
+    pub query: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lower-case) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Fails with `408` once `deadline` has passed — the whole-request
+/// bound that per-read socket timeouts cannot give (a drip-feeding
+/// client resets those with every byte).
+fn check_deadline(deadline: Option<Instant>) -> Result<(), HttpError> {
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        return Err(HttpError::new(408, "request took too long to arrive"));
+    }
+    Ok(())
+}
+
+/// Reads one line terminated by `\r\n` (tolerating bare `\n`), bounded
+/// by [`MAX_LINE`] and `deadline`.
+fn read_line(reader: &mut impl BufRead, deadline: Option<Instant>) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        check_deadline(deadline)?;
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(HttpError::new(431, "header line exceeds 8 KiB"));
+                }
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::new(400, format!("read failed: {e}"))),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::new(400, "header line is not UTF-8"))
+}
+
+/// Reads and validates one request from the stream.
+///
+/// `deadline`, when given, bounds the **entire** request: however
+/// slowly the client drips bytes, parsing fails with `408` once the
+/// instant passes.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] carrying the 4xx/5xx status the connection
+/// should be answered with.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    deadline: Option<Instant>,
+) -> Result<Request, HttpError> {
+    let request_line = read_line(reader, deadline)?;
+    if request_line.is_empty() {
+        return Err(HttpError::new(400, "empty request"));
+    }
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::new(
+            505,
+            format!("unsupported protocol {version:?}"),
+        ));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, deadline)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::new(431, "more than 64 header lines"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, format!("malformed header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::new(
+            411,
+            "chunked transfer encoding is not supported; send Content-Length",
+        ));
+    }
+    if let Some(length) = request.header("content-length") {
+        let length: usize = length
+            .parse()
+            .map_err(|_| HttpError::new(400, format!("bad Content-Length {length:?}")))?;
+        if length > MAX_BODY {
+            return Err(HttpError::new(
+                413,
+                format!("body of {length} bytes exceeds the 1 MiB limit"),
+            ));
+        }
+        let mut body = vec![0u8; length];
+        let mut filled = 0;
+        while filled < length {
+            check_deadline(deadline)?;
+            match reader.read(&mut body[filled..]) {
+                Ok(0) => {
+                    return Err(HttpError::new(
+                        400,
+                        format!("body truncated at {filled} of {length} bytes"),
+                    ))
+                }
+                Ok(n) => filled += n,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(HttpError::new(400, format!("read failed: {e}"))),
+            }
+        }
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Standard reason phrase for the status codes the service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `application/json` response and flushes. Always closes
+/// the exchange (`Connection: close`).
+///
+/// # Errors
+///
+/// Propagates I/O failures (the caller just drops the connection).
+pub fn write_json_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        status,
+        reason_phrase(status),
+        body.len(),
+        body
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), None)
+    }
+
+    #[test]
+    fn get_request_parses() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.query, "");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn post_reads_content_length_body() {
+        let r = parse("POST /v1/plan HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(r.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn query_strings_split_off() {
+        let r = parse("GET /v1/networks?pretty=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/v1/networks");
+        assert_eq!(r.query, "pretty=1");
+    }
+
+    #[test]
+    fn bare_newlines_are_tolerated() {
+        let r = parse("GET / HTTP/1.1\nHost: y\n\n").unwrap();
+        assert_eq!(r.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn malformed_requests_carry_statuses() {
+        assert_eq!(parse("").unwrap_err().status, 400);
+        assert_eq!(parse("GARBAGE\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET / HTTP/2\r\n\r\n").unwrap_err().status, 505);
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\nNoColon\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            411
+        );
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE + 10));
+        assert_eq!(parse(&long).unwrap_err().status, 431);
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "h: v\r\n".repeat(MAX_HEADERS + 1)
+        );
+        assert_eq!(parse(&many).unwrap_err().status, 431);
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(parse(&big).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn an_expired_deadline_times_the_request_out() {
+        let past = Some(Instant::now() - std::time::Duration::from_secs(1));
+        let err =
+            read_request(&mut BufReader::new(&b"GET / HTTP/1.1\r\n\r\n"[..]), past).unwrap_err();
+        assert_eq!(err.status, 408);
+        let future = Some(Instant::now() + std::time::Duration::from_secs(60));
+        assert!(read_request(&mut BufReader::new(&b"GET / HTTP/1.1\r\n\r\n"[..]), future).is_ok());
+    }
+
+    #[test]
+    fn responses_have_framing_headers() {
+        let mut out = Vec::new();
+        write_json_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

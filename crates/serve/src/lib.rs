@@ -1,0 +1,285 @@
+//! **Planning-as-a-service**: an HTTP daemon fronting the VW-SDK
+//! planning engine.
+//!
+//! The ROADMAP's north star is a system that answers mapping queries
+//! over the wire for arbitrary user-supplied networks — not just the
+//! built-in zoo. This crate is that request-serving tier, built
+//! entirely on `std` (the workspace's offline dependency policy): a
+//! hand-rolled HTTP/1.1 parser ([`http`]), a fixed worker pool
+//! ([`pool`]), a closed route table ([`router`]) and pure JSON handlers
+//! ([`handlers`]) over one shared, shape-memoizing
+//! [`PlanningEngine`](vw_sdk::PlanningEngine).
+//!
+//! # The API
+//!
+//! | endpoint | body | answer |
+//! |---|---|---|
+//! | `GET /healthz` | — | liveness, request count, cache stats |
+//! | `GET /v1/networks` | — | the model zoo |
+//! | `POST /v1/plan` | `{"network"\|"spec", "array"?, "algorithms"?}` | per-layer windows, cycles, speedups, cache stats |
+//! | `POST /v1/sweep` | `{"networks"?, "specs"?, "arrays"?, "algorithms"?}` | summary per (network, array) pair |
+//!
+//! Malformed JSON answers `400`, impossible requests (unknown network,
+//! invalid spec geometry) answer `422` — always as structured JSON
+//! (`{"error": {"status", "message"}}`), never a dropped connection.
+//! Plans are **byte-identical** to what the in-process
+//! [`Planner`](vw_sdk::Planner) produces for the same query; the
+//! integration test proves it under concurrency.
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::{Read, Write};
+//! use vw_sdk_serve::PlanServer;
+//!
+//! let server = PlanServer::bind("127.0.0.1:0", 2)?;
+//! let addr = server.local_addr()?;
+//! let handle = server.spawn();
+//!
+//! let mut stream = std::net::TcpStream::connect(addr)?;
+//! stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")?;
+//! let mut response = String::new();
+//! stream.read_to_string(&mut response)?;
+//! assert!(response.starts_with("HTTP/1.1 200 OK"));
+//! assert!(response.contains("\"status\":\"ok\""));
+//!
+//! handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod handlers;
+pub mod http;
+pub mod pool;
+pub mod router;
+pub mod state;
+
+pub use state::ServerState;
+
+use pool::ThreadPool;
+use router::Route;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-read socket timeout: bounds each individual `read`/`write`.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Whole-request deadline: however slowly a client drips bytes (each
+/// byte resets the per-read timeout), parsing gives up — and answers
+/// `408` — once this much time has passed, so a slowloris client costs
+/// a worker at most this long.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(60);
+
+/// The planning daemon: a bound listener plus the shared state, ready
+/// to [`run`](PlanServer::run) on the current thread or
+/// [`spawn`](PlanServer::spawn) in the background.
+#[derive(Debug)]
+pub struct PlanServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    jobs: usize,
+}
+
+impl PlanServer {
+    /// Binds to `addr` (e.g. `"127.0.0.1:7878"`, or port `0` for an
+    /// ephemeral port) with a pool of `jobs` connection workers
+    /// (`0` = one per available core).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission…).
+    pub fn bind(addr: impl ToSocketAddrs, jobs: usize) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            jobs
+        };
+        Ok(Self {
+            listener,
+            state: Arc::new(ServerState::new(jobs)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            jobs,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared server state (engine, counters).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves connections on the **current thread** until
+    /// [`ServerHandle::shutdown`] is signalled (never, when nothing
+    /// holds a handle — the daemon case).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fatal accept error. Per-connection failures
+    /// are answered or dropped without stopping the server.
+    pub fn run(self) -> io::Result<()> {
+        let pool = ThreadPool::new(self.jobs);
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    // Keep a second handle so a full queue can still be
+                    // answered (load shedding beats silent buffering).
+                    let shed = stream.try_clone().ok();
+                    if pool
+                        .try_execute(move || handle_connection(stream, &state))
+                        .is_err()
+                    {
+                        if let Some(mut stream) = shed {
+                            let body =
+                                api::error_json(503, "server overloaded; retry later").render();
+                            let _ = http::write_json_response(&mut stream, 503, &body);
+                        }
+                    }
+                }
+                // Transient accept failures — aborted handshakes, fd
+                // exhaustion under load (EMFILE/ENFILE), interrupts —
+                // must not kill the daemon; back off briefly and keep
+                // serving. Only genuinely fatal errors stop the loop.
+                Err(ref e) if is_transient_accept_error(e) => {
+                    if matches!(e.raw_os_error(), Some(23 | 24)) {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+        // `pool` drops here: workers drain queued connections and join.
+    }
+
+    /// Serves in a background thread; the returned handle stops it.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.listener.local_addr().ok();
+        let shutdown = Arc::clone(&self.shutdown);
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::Builder::new()
+            .name("serve-acceptor".into())
+            .spawn(move || self.run())
+            .expect("spawning the acceptor thread failed");
+        ServerHandle {
+            addr,
+            shutdown,
+            state,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Handle to a background [`PlanServer`]; dropping it without calling
+/// [`ServerHandle::shutdown`] leaves the server running detached.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: Option<SocketAddr>,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<ServerState>,
+    thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address, if known.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// The shared server state (engine, counters).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Signals the acceptor to stop, unblocks it, and joins it. All
+    /// connections already accepted are served to completion first.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr {
+            // Unblock the accept call with one throwaway connection.
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Whether an `accept` failure is expected under load and safe to
+/// retry: aborted/reset handshakes, interrupts, and file-descriptor
+/// exhaustion (`EMFILE` 24 / `ENFILE` 23 — each connection uses fds, so
+/// these strike exactly when the server is busiest).
+fn is_transient_accept_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+    ) || matches!(e.raw_os_error(), Some(23 | 24))
+}
+
+/// Serves one connection: parse, route, handle, answer. Every failure
+/// path answers a structured JSON error; only socket I/O failures drop
+/// the connection (there is no one left to tell).
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    state.count_request();
+
+    let deadline = Some(std::time::Instant::now() + REQUEST_DEADLINE);
+    let (status, body) = match http::read_request(&mut reader, deadline) {
+        Err(e) => (e.status, api::error_json(e.status, &e.message)),
+        Ok(request) => match router::resolve(&request.method, &request.path) {
+            Err((status, message)) => (status, api::error_json(status, &message)),
+            Ok(route) => {
+                // A handler panic must still answer the client — a bare
+                // closed socket would break the "never a dropped
+                // connection" contract — so unwind containment happens
+                // here, before the response is written, not only in the
+                // pool.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match route {
+                        Route::Healthz => Ok(handlers::healthz(state)),
+                        Route::Networks => Ok(handlers::networks()),
+                        Route::Plan => handlers::plan(state, &request.body),
+                        Route::Sweep => handlers::sweep(state, &request.body),
+                    }));
+                match result {
+                    Ok(Ok(value)) => (200, value),
+                    Ok(Err((status, message))) => (status, api::error_json(status, &message)),
+                    Err(_) => (
+                        500,
+                        api::error_json(500, "internal error while handling the request"),
+                    ),
+                }
+            }
+        },
+    };
+    let _ = http::write_json_response(&mut writer, status, &body.render());
+}

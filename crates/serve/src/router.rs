@@ -1,0 +1,99 @@
+//! Route table of the planning API.
+//!
+//! Small and closed on purpose: four endpoints, each with exactly one
+//! method. Unknown paths answer `404`, known paths with the wrong
+//! method answer `405` — both as structured JSON, never a dropped
+//! connection.
+
+/// The service's endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz` — liveness plus cache statistics.
+    Healthz,
+    /// `GET /v1/networks` — the model zoo.
+    Networks,
+    /// `POST /v1/plan` — plan one network (zoo name or inline spec).
+    Plan,
+    /// `POST /v1/sweep` — batch design-space sweep.
+    Sweep,
+}
+
+impl Route {
+    /// The method each route accepts.
+    pub fn method(&self) -> &'static str {
+        match self {
+            Route::Healthz | Route::Networks => "GET",
+            Route::Plan | Route::Sweep => "POST",
+        }
+    }
+
+    /// The route's path.
+    pub fn path(&self) -> &'static str {
+        match self {
+            Route::Healthz => "/healthz",
+            Route::Networks => "/v1/networks",
+            Route::Plan => "/v1/plan",
+            Route::Sweep => "/v1/sweep",
+        }
+    }
+
+    /// Every route, for documentation-style error messages.
+    pub fn all() -> [Route; 4] {
+        [Route::Healthz, Route::Networks, Route::Plan, Route::Sweep]
+    }
+}
+
+/// Resolves a `(method, path)` pair to a route.
+///
+/// # Errors
+///
+/// `(status, message)` — `404` for unknown paths (listing the valid
+/// ones), `405` for a known path with the wrong method.
+pub fn resolve(method: &str, path: &str) -> Result<Route, (u16, String)> {
+    let route = Route::all().into_iter().find(|r| r.path() == path);
+    match route {
+        None => {
+            let known: Vec<String> = Route::all()
+                .iter()
+                .map(|r| format!("{} {}", r.method(), r.path()))
+                .collect();
+            Err((
+                404,
+                format!("no route {path:?}; the API is {}", known.join(", ")),
+            ))
+        }
+        Some(route) if route.method() != method => Err((
+            405,
+            format!("{path} expects {}, got {method}", route.method()),
+        )),
+        Some(route) => Ok(route),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_routes_resolve() {
+        assert_eq!(resolve("GET", "/healthz").unwrap(), Route::Healthz);
+        assert_eq!(resolve("GET", "/v1/networks").unwrap(), Route::Networks);
+        assert_eq!(resolve("POST", "/v1/plan").unwrap(), Route::Plan);
+        assert_eq!(resolve("POST", "/v1/sweep").unwrap(), Route::Sweep);
+    }
+
+    #[test]
+    fn unknown_paths_are_404_with_a_directory() {
+        let (status, message) = resolve("GET", "/v2/plan").unwrap_err();
+        assert_eq!(status, 404);
+        assert!(message.contains("POST /v1/plan"), "{message}");
+    }
+
+    #[test]
+    fn wrong_methods_are_405() {
+        let (status, message) = resolve("GET", "/v1/plan").unwrap_err();
+        assert_eq!(status, 405);
+        assert!(message.contains("expects POST"), "{message}");
+        assert_eq!(resolve("DELETE", "/healthz").unwrap_err().0, 405);
+    }
+}

@@ -1,0 +1,83 @@
+//! Process-wide state shared by every connection.
+
+use pim_mapping::MappingAlgorithm;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vw_sdk::PlanningEngine;
+
+/// State shared (behind an `Arc`) across the server's worker threads:
+/// one [`PlanningEngine`] — so every request reads and feeds the same
+/// shape-keyed plan cache — plus request counters.
+///
+/// The engine is configured with *every* implemented algorithm and
+/// plans inline (`jobs = 1`): parallelism comes from serving many
+/// connections at once, and inline planning keeps each response's
+/// bytes independent of worker scheduling.
+#[derive(Debug)]
+pub struct ServerState {
+    engine: PlanningEngine,
+    requests: AtomicU64,
+    pool_size: usize,
+}
+
+impl ServerState {
+    /// State for a server with `pool_size` connection workers.
+    pub fn new(pool_size: usize) -> Self {
+        Self {
+            engine: PlanningEngine::with_algorithms(&MappingAlgorithm::all()),
+            requests: AtomicU64::new(0),
+            pool_size: pool_size.max(1),
+        }
+    }
+
+    /// The shared planning engine.
+    pub fn engine(&self) -> &PlanningEngine {
+        &self.engine
+    }
+
+    /// Connection workers serving this state.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Requests handled so far (any status).
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Counts one handled request.
+    pub fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Caps the engine's cache footprint. Called after every planning
+    /// request: clients may iterate over arbitrarily many distinct
+    /// shapes, and an unbounded memo table would grow until OOM.
+    pub fn trim_caches(&self) {
+        /// Generous for real workloads (the whole zoo × the Fig. 8(b)
+        /// sweep stores < 1k plans) while bounding hostile traffic.
+        const MAX_CACHE_ENTRIES: usize = 65_536;
+        self.engine.shed_caches_over(MAX_CACHE_ENTRIES);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_advance() {
+        let state = ServerState::new(0);
+        assert_eq!(state.pool_size(), 1);
+        assert_eq!(state.requests_served(), 0);
+        state.count_request();
+        state.count_request();
+        assert_eq!(state.requests_served(), 2);
+    }
+
+    #[test]
+    fn engine_compares_every_algorithm() {
+        let state = ServerState::new(4);
+        assert_eq!(state.engine().algorithms().len(), 7);
+        assert_eq!(state.engine().jobs(), 1);
+    }
+}

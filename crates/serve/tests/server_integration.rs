@@ -1,0 +1,187 @@
+//! End-to-end test of the planning daemon over real sockets.
+//!
+//! Boots a [`PlanServer`] on an ephemeral port and proves the
+//! acceptance criteria of the serving tier:
+//!
+//! * concurrent `POST /v1/plan` requests (zoo names *and* inline
+//!   specs) answer plans **byte-identical** to what the in-process
+//!   sequential [`Planner`] renders for the same query;
+//! * malformed JSON, malformed HTTP and impossible requests answer
+//!   structured 4xx JSON instead of dropping the connection;
+//! * the shared cache observes the traffic (hits grow under repeats).
+
+use pim_arch::PimArray;
+use pim_nets::{zoo, NetworkSpec};
+use pim_report::json::JsonValue;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use vw_sdk::Planner;
+use vw_sdk_serve::{api, PlanServer};
+
+/// One request over a fresh connection; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator")
+        .1
+        .to_string();
+    (status, payload)
+}
+
+/// The exact bytes the server must answer for a plan of `network` on
+/// `array`: the in-process render plus the trailing cache member.
+fn expected_plan_prefix(network: &pim_nets::Network, array: PimArray) -> String {
+    let report = Planner::new(array)
+        .plan_network(network)
+        .expect("planning is total");
+    let rendered = api::report_json(&report).render();
+    // The response appends `,"cache":{...}` inside the same object.
+    format!("{},\"cache\":", &rendered[..rendered.len() - 1])
+}
+
+#[test]
+fn concurrent_plans_are_byte_identical_to_the_sequential_planner() {
+    let server = PlanServer::bind("127.0.0.1:0", 4).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    // Zoo-name and inline-spec queries, interleaved, 4 threads x 6 requests.
+    let resnet_body = r#"{"network": "resnet18", "array": "512x512"}"#.to_string();
+    let spec_json = NetworkSpec::from_network(&zoo::tiny()).to_json().render();
+    let spec_body = format!("{{\"spec\": {spec_json}, \"array\": \"256x256\"}}");
+
+    let resnet_expected = expected_plan_prefix(
+        &zoo::resnet18_table1(),
+        PimArray::new(512, 512).expect("positive"),
+    );
+    let tiny_expected =
+        expected_plan_prefix(&zoo::tiny(), PimArray::new(256, 256).expect("positive"));
+
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let resnet_body = &resnet_body;
+            let spec_body = &spec_body;
+            let resnet_expected = &resnet_expected;
+            let tiny_expected = &tiny_expected;
+            scope.spawn(move || {
+                for round in 0..6 {
+                    let (body, expected) = if (worker + round) % 2 == 0 {
+                        (resnet_body, resnet_expected)
+                    } else {
+                        (spec_body, tiny_expected)
+                    };
+                    let (status, payload) = request(addr, "POST", "/v1/plan", body);
+                    assert_eq!(status, 200, "{payload}");
+                    assert!(
+                        payload.starts_with(expected.as_str()),
+                        "response diverges from the sequential Planner:\n\
+                         expected prefix: {expected}\n\
+                         got: {payload}"
+                    );
+                }
+            });
+        }
+    });
+
+    // The repeats hit the shared plan cache.
+    let stats = handle.state().engine().stats();
+    assert!(stats.plan_hits > 0, "no cache hits after 24 requests");
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_and_impossible_requests_answer_structured_4xx() {
+    let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    // Malformed JSON → 400 with a position-bearing message.
+    let (status, payload) = request(addr, "POST", "/v1/plan", "{\"network\": ");
+    assert_eq!(status, 400, "{payload}");
+    let error = JsonValue::parse(&payload).expect("error body is JSON");
+    assert_eq!(
+        error
+            .get("error")
+            .and_then(|e| e.get("status"))
+            .and_then(JsonValue::as_u64),
+        Some(400)
+    );
+
+    // Invalid spec geometry → 422 naming the layer.
+    let (status, payload) = request(
+        addr,
+        "POST",
+        "/v1/plan",
+        r#"{"spec": {"name": "bad", "layers": [
+            {"input": 2, "kernel": 7, "in_channels": 1, "out_channels": 1}
+        ]}}"#,
+    );
+    assert_eq!(status, 422, "{payload}");
+    assert!(payload.contains("layers[0]"), "{payload}");
+
+    // Unknown route → 404; wrong method → 405; both JSON.
+    let (status, payload) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404, "{payload}");
+    assert!(JsonValue::parse(&payload).is_ok());
+    let (status, _) = request(addr, "GET", "/v1/plan", "");
+    assert_eq!(status, 405);
+
+    // Malformed HTTP entirely → 400, connection still answered.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"COMPLETE GARBAGE\r\n\r\n").expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn the_four_endpoints_answer() {
+    let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    let (status, payload) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(payload.contains("\"status\":\"ok\""), "{payload}");
+
+    let (status, payload) = request(addr, "GET", "/v1/networks", "");
+    assert_eq!(status, 200);
+    assert!(payload.contains("ResNet-18"), "{payload}");
+
+    let (status, payload) = request(
+        addr,
+        "POST",
+        "/v1/sweep",
+        r#"{"networks": ["tiny"], "arrays": ["64x64", "128x128"]}"#,
+    );
+    assert_eq!(status, 200, "{payload}");
+    let sweep = JsonValue::parse(&payload).expect("sweep body is JSON");
+    assert_eq!(
+        sweep
+            .get("reports")
+            .and_then(JsonValue::as_array)
+            .map(<[JsonValue]>::len),
+        Some(2)
+    );
+
+    let (status, _) = request(addr, "POST", "/v1/plan", r#"{"network": "tiny"}"#);
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+}

@@ -1,0 +1,97 @@
+//! Drives the planning daemon over plain `std::net::TcpStream`s — the
+//! whole client side of planning-as-a-service in one file.
+//!
+//! Boots an in-process [`PlanServer`] on an ephemeral port (exactly
+//! what `vwsdk serve --addr 127.0.0.1:0` runs), then exercises the API
+//! the way any HTTP client would: a health check, the zoo listing, a
+//! zoo plan, a plan of the checked-in `examples/specs/edge_cnn.json`
+//! spec, and a malformed request to show the structured error path.
+//!
+//! Run with: `cargo run --example serve_client`
+
+use pim_report::json::JsonValue;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use vw_sdk_serve::PlanServer;
+
+/// The sample network spec, compiled in so the example runs from any
+/// working directory.
+const EDGE_CNN_SPEC: &str = include_str!("specs/edge_cnn.json");
+
+/// One HTTP/1.1 exchange over a fresh connection.
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: example\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response)
+}
+
+/// Splits a raw response into (status, body).
+fn split(response: &str) -> (u16, String) {
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("well-formed status line");
+    let body = response.split_once("\r\n\r\n").expect("framed body").1;
+    (status, body.to_string())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = PlanServer::bind("127.0.0.1:0", 2)?;
+    let addr = server.local_addr()?;
+    let handle = server.spawn();
+    println!("planning daemon listening on http://{addr}\n");
+
+    // 1. Liveness.
+    let (status, body) = split(&exchange(addr, "GET", "/healthz", "")?);
+    println!("GET /healthz -> {status}\n  {body}\n");
+
+    // 2. The zoo.
+    let (status, body) = split(&exchange(addr, "GET", "/v1/networks", "")?);
+    let networks = JsonValue::parse(&body)?;
+    let count = networks
+        .get("networks")
+        .and_then(JsonValue::as_array)
+        .map_or(0, <[JsonValue]>::len);
+    println!("GET /v1/networks -> {status} ({count} networks)\n");
+
+    // 3. Plan a zoo network: the paper's Table I query.
+    let (status, body) = split(&exchange(
+        addr,
+        "POST",
+        "/v1/plan",
+        r#"{"network": "resnet18", "array": "512x512"}"#,
+    )?);
+    let plan = JsonValue::parse(&body)?;
+    println!(
+        "POST /v1/plan resnet18@512x512 -> {status}: VW-SDK total {} cycles",
+        plan.get("totals")
+            .and_then(|t| t.get("VW-SDK"))
+            .and_then(JsonValue::as_u64)
+            .expect("planned total")
+    );
+
+    // 4. Plan the checked-in user-defined spec.
+    let request = format!("{{\"spec\": {EDGE_CNN_SPEC}, \"array\": \"256x256\"}}");
+    let (status, body) = split(&exchange(addr, "POST", "/v1/plan", &request)?);
+    let plan = JsonValue::parse(&body)?;
+    println!(
+        "POST /v1/plan edge_cnn.json@256x256 -> {status}: {} layers planned",
+        plan.get("layers")
+            .and_then(JsonValue::as_array)
+            .map_or(0, <[JsonValue]>::len)
+    );
+
+    // 5. A malformed body: structured 4xx, not a dropped connection.
+    let (status, body) = split(&exchange(addr, "POST", "/v1/plan", "{oops")?);
+    println!("POST /v1/plan malformed -> {status}\n  {body}");
+
+    handle.shutdown();
+    Ok(())
+}

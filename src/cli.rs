@@ -6,21 +6,30 @@
 //! ```text
 //! vwsdk list
 //! vwsdk plan   --network resnet18 --array 512x512
+//! vwsdk plan   --spec examples/specs/edge_cnn.json --array 256x256
 //! vwsdk layer  --input 56 --kernel 3 --ic 128 --oc 256 --array 512x512
 //! vwsdk search --input 56 --kernel 3 --ic 128 --oc 256 --array 512x512 --top 5
 //! vwsdk verify --network tiny --array 64x64
 //! vwsdk sweep  --networks vgg13,resnet18 --arrays 256x256,512x512 --jobs 4
+//! vwsdk sweep  --networks all --format json
+//! vwsdk serve  --addr 127.0.0.1:7878 --jobs 8
 //! ```
+//!
+//! `plan` and `layer` run through one process-wide, shape-memoizing
+//! [`PlanningEngine`] — the same cache path the `vwsdk serve` daemon
+//! uses — so repeated shapes are planned once no matter the entry point.
 
 use pim_arch::{presets, PimArray};
 use pim_mapping::MappingAlgorithm;
-use pim_nets::{zoo, ConvLayer, Network};
+use pim_nets::{zoo, ConvLayer, Network, NetworkSpec};
 use pim_report::fmt_speedup;
 use pim_report::table::{Align, TextTable};
 use pim_sim::verify::verify_plan;
 use std::fmt;
+use std::sync::OnceLock;
 use vw_sdk::render::{render_speedups, render_table1};
-use vw_sdk::{Planner, PlanningEngine};
+use vw_sdk::PlanningEngine;
+use vw_sdk_serve::{api, PlanServer};
 
 /// Error produced by CLI parsing or execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,24 +62,50 @@ USAGE:
 
 COMMANDS:
     list                         List the model-zoo networks
-    plan     Plan a zoo network      (--network NAME --array RxC)
+    plan     Plan a network          (--network NAME | --spec FILE.json, --array RxC)
     layer    Compare one layer       (--input N --kernel K --ic N --oc N --array RxC
                                       [--stride S] [--padding P] [--dilation D])
     search   Show the window search  (same layer options, plus --top N)
     show     Draw a tile layout      (same layer options, plus --algorithm NAME)
     verify   Run the simulator       (--network NAME --array RxC [--seed N])
-    sweep    Batch design-space plan (--networks a,b,... --arrays RxC,... --jobs N)
+    sweep    Batch design-space plan (--networks a,b,... [--spec FILE.json]
+                                      --arrays RxC,... --jobs N [--format text|json])
                                      defaults: every zoo network, the Fig. 8(b)
                                      array sizes, one worker per core
+    serve    HTTP planning daemon    (--addr HOST:PORT --jobs N)
+                                     endpoints: GET /healthz, GET /v1/networks,
+                                     POST /v1/plan, POST /v1/sweep
 
 OPTIONS:
     --array RxC     PIM array geometry, e.g. 512x512 (default 512x512)
     --network NAME  Zoo network name (see `vwsdk list`)
     --networks A,B  Comma-separated zoo networks, or `all` (sweep)
     --arrays L,M    Comma-separated array geometries (sweep)
-    --jobs N        Planning worker threads; 0 = one per core (sweep)
+    --spec FILE     JSON network spec (plan, sweep; see examples/specs/)
+    --format F      Sweep output: text (default) or json
+    --jobs N        Worker threads; 0 = one per core (sweep: planners,
+                    serve: connection workers)
+    --addr H:P      Serve bind address (default 127.0.0.1:7878)
     --help          Show this text
 ";
+
+/// Where `vwsdk plan` gets its network from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkSource {
+    /// A model-zoo name (`--network`).
+    Zoo(String),
+    /// A JSON network-spec file (`--spec`).
+    SpecFile(String),
+}
+
+/// Output format of `vwsdk sweep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepFormat {
+    /// The aligned text table (default).
+    Text,
+    /// The service's JSON schema (`api::report_summary_json` per report).
+    Json,
+}
 
 /// A parsed command, ready to execute.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,8 +114,8 @@ pub enum Command {
     List,
     /// `vwsdk plan`
     Plan {
-        /// Zoo network name.
-        network: String,
+        /// Zoo name or spec file to plan.
+        network: NetworkSource,
         /// Target array.
         array: PimArray,
     },
@@ -122,9 +157,20 @@ pub enum Command {
     Sweep {
         /// Zoo networks to plan.
         networks: Vec<String>,
+        /// Extra spec-file network to include.
+        spec: Option<String>,
         /// Array geometries to plan them on.
         arrays: Vec<PimArray>,
         /// Worker threads (0 = one per core).
+        jobs: usize,
+        /// Output format.
+        format: SweepFormat,
+    },
+    /// `vwsdk serve`
+    Serve {
+        /// Bind address (`HOST:PORT`).
+        addr: String,
+        /// Connection worker threads (0 = one per core).
         jobs: usize,
     },
     /// `vwsdk --help` (or no arguments).
@@ -215,6 +261,9 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
     let mut networks: Option<Vec<String>> = None;
     let mut arrays: Option<Vec<PimArray>> = None;
     let mut jobs = 0usize;
+    let mut spec: Option<String> = None;
+    let mut format = SweepFormat::Text;
+    let mut addr = "127.0.0.1:7878".to_string();
 
     let mut i = 1;
     while i < args.len() {
@@ -241,6 +290,20 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
                 );
             }
             "--jobs" => jobs = parse_usize(take_value(args, &mut i, flag)?, flag)?,
+            "--spec" => spec = Some(take_value(args, &mut i, flag)?.to_string()),
+            "--addr" => addr = take_value(args, &mut i, flag)?.to_string(),
+            "--format" => {
+                let v = take_value(args, &mut i, flag)?;
+                format = match v.to_ascii_lowercase().as_str() {
+                    "text" => SweepFormat::Text,
+                    "json" => SweepFormat::Json,
+                    other => {
+                        return Err(CliError::new(format!(
+                            "--format expects text or json, got {other:?}"
+                        )))
+                    }
+                };
+            }
             "--input" => {
                 layer_args.input = Some(parse_usize(take_value(args, &mut i, flag)?, flag)?)
             }
@@ -276,7 +339,16 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
     match command.as_str() {
         "list" => Ok(Command::List),
         "plan" => Ok(Command::Plan {
-            network: network.ok_or_else(|| CliError::new("plan requires --network"))?,
+            network: match (network, spec) {
+                (Some(_), Some(_)) => {
+                    return Err(CliError::new(
+                        "plan takes either --network or --spec, not both",
+                    ))
+                }
+                (Some(name), None) => NetworkSource::Zoo(name),
+                (None, Some(path)) => NetworkSource::SpecFile(path),
+                (None, None) => return Err(CliError::new("plan requires --network or --spec")),
+            },
             array,
         }),
         "layer" => Ok(Command::Layer {
@@ -313,7 +385,16 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
                 ));
             }
             Ok(Command::Sweep {
-                networks: networks.unwrap_or_else(|| vec!["all".to_string()]),
+                // With an explicit spec file and no --networks, sweep
+                // just that network instead of the whole zoo.
+                networks: networks.unwrap_or_else(|| {
+                    if spec.is_some() {
+                        Vec::new()
+                    } else {
+                        vec!["all".to_string()]
+                    }
+                }),
+                spec,
                 arrays: arrays.unwrap_or_else(|| {
                     presets::fig8b_sweep()
                         .iter()
@@ -321,8 +402,10 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
                         .collect()
                 }),
                 jobs,
+                format,
             })
         }
+        "serve" => Ok(Command::Serve { addr, jobs }),
         other => Err(CliError::new(format!(
             "unknown command {other:?}; try `vwsdk --help`"
         ))),
@@ -342,6 +425,25 @@ fn resolve_networks(names: &[String]) -> std::result::Result<Vec<Network>, CliEr
         return Ok(zoo::all());
     }
     names.iter().map(|name| lookup_network(name)).collect()
+}
+
+/// Loads and validates a `--spec FILE.json` network.
+fn load_spec_network(path: &str) -> std::result::Result<Network, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read spec {path:?}: {e}")))?;
+    let spec =
+        NetworkSpec::parse(&text).map_err(|e| CliError::new(format!("spec {path:?}: {e}")))?;
+    spec.to_network()
+        .map_err(|e| CliError::new(format!("spec {path:?}: {e}")))
+}
+
+/// The process-wide planning engine: `plan`, `layer` and the serve
+/// daemon's in-process siblings all share this one shape-keyed cache,
+/// configured with every implemented algorithm so any subset can be
+/// answered per call.
+fn shared_engine() -> &'static PlanningEngine {
+    static ENGINE: OnceLock<PlanningEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| PlanningEngine::with_algorithms(&MappingAlgorithm::all()))
 }
 
 /// Executes a parsed command, returning its printable output.
@@ -365,10 +467,12 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
             Ok(out)
         }
         Command::Plan { network, array } => {
-            let net = lookup_network(network)?;
-            let planner = Planner::new(*array);
-            let report = planner
-                .plan_network(&net)
+            let net = match network {
+                NetworkSource::Zoo(name) => lookup_network(name)?,
+                NetworkSource::SpecFile(path) => load_spec_network(path)?,
+            };
+            let report = shared_engine()
+                .plan_network_with(&net, *array, &MappingAlgorithm::paper_trio())
                 .map_err(|e| CliError::new(e.to_string()))?;
             Ok(format!(
                 "{}\n{}",
@@ -377,9 +481,8 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
             ))
         }
         Command::Layer { layer, array } => {
-            let planner = Planner::with_algorithms(*array, &MappingAlgorithm::all());
-            let cmp = planner
-                .plan_layer(layer)
+            let cmp = shared_engine()
+                .plan_layer_with(layer, *array, &MappingAlgorithm::all())
                 .map_err(|e| CliError::new(e.to_string()))?;
             let mut out = format!("{layer} on {array}\n\n");
             for plan in cmp.plans() {
@@ -438,14 +541,27 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
         }
         Command::Sweep {
             networks,
+            spec,
             arrays,
             jobs,
+            format,
         } => {
-            let resolved = resolve_networks(networks)?;
+            let mut resolved = resolve_networks(networks)?;
+            if let Some(path) = spec {
+                resolved.push(load_spec_network(path)?);
+            }
+            if resolved.is_empty() {
+                return Err(CliError::new("the sweep names no networks"));
+            }
             let engine = PlanningEngine::new().with_jobs(*jobs);
             let reports = engine
                 .sweep_arrays(&resolved, arrays)
                 .map_err(|e| CliError::new(e.to_string()))?;
+            if *format == SweepFormat::Json {
+                // api::sweep_json is the same function POST /v1/sweep
+                // answers with, so file and wire output cannot drift.
+                return Ok(api::sweep_json(&reports, &engine.stats()).render_pretty());
+            }
             let mut table = TextTable::new(&[
                 "network",
                 "array",
@@ -483,6 +599,25 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                 table.render(),
                 engine.stats()
             ))
+        }
+        Command::Serve { addr, jobs } => {
+            let server = PlanServer::bind(addr.as_str(), *jobs)
+                .map_err(|e| CliError::new(format!("cannot bind {addr:?}: {e}")))?;
+            let local = server
+                .local_addr()
+                .map_err(|e| CliError::new(e.to_string()))?;
+            eprintln!(
+                "vwsdk serve: listening on http://{local} ({} connection workers)",
+                server.state().pool_size()
+            );
+            eprintln!(
+                "try: curl -s http://{local}/healthz | head; \
+                 curl -s -X POST http://{local}/v1/plan -d '{{\"network\":\"resnet18\"}}'"
+            );
+            server
+                .run()
+                .map_err(|e| CliError::new(format!("server failed: {e}")))?;
+            Ok(String::new())
         }
         Command::Verify {
             network,
@@ -524,6 +659,7 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pim_report::json::JsonValue;
 
     fn argv(text: &str) -> Vec<String> {
         text.split_whitespace().map(String::from).collect()
@@ -537,16 +673,25 @@ mod tests {
     }
 
     #[test]
-    fn plan_requires_network() {
+    fn plan_requires_network_or_spec() {
         assert!(parse(&argv("plan")).is_err());
         let cmd = parse(&argv("plan --network resnet18 --array 256x256")).unwrap();
         match cmd {
             Command::Plan { network, array } => {
-                assert_eq!(network, "resnet18");
+                assert_eq!(network, NetworkSource::Zoo("resnet18".into()));
                 assert_eq!(array.to_string(), "256x256");
             }
             other => panic!("unexpected {other:?}"),
         }
+        let cmd = parse(&argv("plan --spec nets/my.json")).unwrap();
+        match cmd {
+            Command::Plan { network, .. } => {
+                assert_eq!(network, NetworkSource::SpecFile("nets/my.json".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&argv("plan --network tiny --spec my.json")).unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
     }
 
     #[test]
@@ -635,12 +780,16 @@ mod tests {
         match &cmd {
             Command::Sweep {
                 networks,
+                spec,
                 arrays,
                 jobs,
+                format,
             } => {
                 assert_eq!(networks, &["all".to_string()]);
+                assert_eq!(spec, &None);
                 assert_eq!(arrays.len(), 5);
                 assert_eq!(*jobs, 0);
+                assert_eq!(*format, SweepFormat::Text);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -649,7 +798,7 @@ mod tests {
     #[test]
     fn sweep_parses_explicit_lists() {
         let cmd = parse(&argv(
-            "sweep --networks vgg13,resnet18 --arrays 256x256,512x512 --jobs 4",
+            "sweep --networks vgg13,resnet18 --arrays 256x256,512x512 --jobs 4 --format json",
         ))
         .unwrap();
         match &cmd {
@@ -657,14 +806,56 @@ mod tests {
                 networks,
                 arrays,
                 jobs,
+                format,
+                ..
             } => {
                 assert_eq!(networks.len(), 2);
                 assert_eq!(arrays[1].to_string(), "512x512");
                 assert_eq!(*jobs, 4);
+                assert_eq!(*format, SweepFormat::Json);
             }
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(&argv("sweep --arrays bogus")).is_err());
+        assert!(parse(&argv("sweep --format yaml")).is_err());
+    }
+
+    #[test]
+    fn sweep_with_a_spec_drops_the_zoo_default() {
+        let cmd = parse(&argv("sweep --spec my.json --arrays 64x64")).unwrap();
+        match &cmd {
+            Command::Sweep { networks, spec, .. } => {
+                assert!(networks.is_empty());
+                assert_eq!(spec.as_deref(), Some("my.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An explicit --networks list still rides along with the spec.
+        let cmd = parse(&argv("sweep --networks tiny --spec my.json")).unwrap();
+        match &cmd {
+            Command::Sweep { networks, .. } => assert_eq!(networks, &["tiny".to_string()]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_parses_addr_and_jobs() {
+        let cmd = parse(&argv("serve")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:7878".into(),
+                jobs: 0
+            }
+        );
+        let cmd = parse(&argv("serve --addr 0.0.0.0:9000 --jobs 8")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                jobs: 8
+            }
+        );
     }
 
     #[test]
@@ -699,10 +890,68 @@ mod tests {
     #[test]
     fn unknown_network_reports_cleanly() {
         let cmd = Command::Plan {
-            network: "nonexistent".into(),
+            network: NetworkSource::Zoo("nonexistent".into()),
             array: PimArray::new(64, 64).unwrap(),
         };
         let err = run(&cmd).unwrap_err();
         assert!(err.to_string().contains("vwsdk list"));
+    }
+
+    #[test]
+    fn plan_from_a_spec_file_runs() {
+        let path = std::env::temp_dir().join("vwsdk-cli-spec-test.json");
+        let spec = NetworkSpec::from_network(&zoo::tiny());
+        std::fs::write(&path, spec.to_json_string()).unwrap();
+        let cmd = Command::Plan {
+            network: NetworkSource::SpecFile(path.to_string_lossy().into_owned()),
+            array: PimArray::new(64, 64).unwrap(),
+        };
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("tiny on a 64x64 PIM array"), "{out}");
+        std::fs::remove_file(&path).ok();
+
+        let missing = Command::Plan {
+            network: NetworkSource::SpecFile("/nonexistent/spec.json".into()),
+            array: PimArray::new(64, 64).unwrap(),
+        };
+        let err = run(&missing).unwrap_err();
+        assert!(err.to_string().contains("cannot read spec"), "{err}");
+    }
+
+    #[test]
+    fn sweep_format_json_emits_the_service_schema() {
+        let cmd = parse(&argv(
+            "sweep --networks resnet18 --arrays 512x512 --format json",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        let json = JsonValue::parse(&out).expect("sweep --format json output parses");
+        let reports = json.get("reports").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(
+            reports[0]
+                .get("totals")
+                .and_then(|t| t.get("VW-SDK"))
+                .and_then(JsonValue::as_u64),
+            Some(4294)
+        );
+        assert!(json.get("cache").is_some());
+    }
+
+    #[test]
+    fn plan_answers_are_byte_identical_to_the_engine_free_planner() {
+        // The shared-engine CLI path must render the same table a fresh
+        // sequential Planner produces.
+        let cmd = parse(&argv("plan --network vgg13")).unwrap();
+        let out = run(&cmd).unwrap();
+        let report = vw_sdk::Planner::new(PimArray::new(512, 512).unwrap())
+            .plan_network(&zoo::vgg13())
+            .unwrap();
+        let expected = format!(
+            "{}\n{}",
+            render_table1(&report),
+            render_speedups(&report, MappingAlgorithm::Im2col)
+        );
+        assert_eq!(out, expected);
     }
 }
