@@ -39,7 +39,8 @@ pub struct ChipRow {
 pub fn sweep(network: &Network) -> Vec<ChipRow> {
     let mut rows = Vec::new();
     for &n in &CHIP_SIZES {
-        let chip = ChipConfig::new(n, PimArray::new(512, 512).expect("positive"), 2_000);
+        let chip =
+            ChipConfig::new(n, PimArray::new(512, 512).expect("positive"), 2_000).expect("valid");
         for alg in MappingAlgorithm::paper_trio() {
             let deployment = deploy(network, alg, &chip).expect("chip larger than layer count");
             let report = PipelineReport::new(&deployment);

@@ -21,7 +21,7 @@
 //! | [`sweep`] | A4: extra networks × array sizes (via the parallel, memoized `PlanningEngine`) |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ablation;
 pub mod chip;

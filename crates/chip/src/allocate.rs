@@ -12,7 +12,32 @@ pub struct LayerAllocation {
     arrays: usize,
 }
 
+/// The stage-cycle cost model shared by allocation and the
+/// [`crate::optimize`] search: with every tile resident the stage takes
+/// `npw` cycles; otherwise tiles are time-multiplexed over the granted
+/// arrays in `⌈tiles/arrays⌉` rounds of `npw` cycles, and each round
+/// past the first reloads every granted array.
+pub(crate) fn stage_cycles_for(tiles: u64, npw: u64, arrays: usize, reprogram: u64) -> u64 {
+    if arrays as u64 >= tiles {
+        npw
+    } else {
+        let rounds = tiles.div_ceil(arrays as u64);
+        let reloads = tiles - arrays as u64;
+        rounds * npw + reloads * reprogram
+    }
+}
+
 impl LayerAllocation {
+    /// Builds an allocation from its parts (crate-internal: the
+    /// [`crate::optimize`] search assembles allocations directly).
+    pub(crate) fn from_parts(plan: MappingPlan, tiles: u64, arrays: usize) -> Self {
+        Self {
+            plan,
+            tiles,
+            arrays,
+        }
+    }
+
     /// The layer's mapping plan.
     pub fn plan(&self) -> &MappingPlan {
         &self.plan
@@ -41,14 +66,12 @@ impl LayerAllocation {
     /// cycles, and each round past the first reloads every granted
     /// array.
     pub fn stage_cycles(&self, reprogram_cycles: u64) -> u64 {
-        let npw = self.plan.n_parallel_windows();
-        if self.is_resident() {
-            npw
-        } else {
-            let rounds = self.tiles.div_ceil(self.arrays as u64);
-            let reloads = self.tiles - self.arrays as u64;
-            rounds * npw + reloads * reprogram_cycles
-        }
+        stage_cycles_for(
+            self.tiles,
+            self.plan.n_parallel_windows(),
+            self.arrays,
+            reprogram_cycles,
+        )
     }
 }
 
@@ -60,6 +83,11 @@ pub struct Deployment {
 }
 
 impl Deployment {
+    /// Builds a deployment from its parts (crate-internal).
+    pub(crate) fn from_parts(chip: ChipConfig, allocations: Vec<LayerAllocation>) -> Self {
+        Self { chip, allocations }
+    }
+
     /// The chip this deployment targets.
     pub fn chip(&self) -> ChipConfig {
         self.chip
@@ -169,7 +197,7 @@ mod tests {
     use pim_nets::zoo;
 
     fn chip(n: usize) -> ChipConfig {
-        ChipConfig::new(n, PimArray::new(512, 512).unwrap(), 2_000)
+        ChipConfig::new(n, PimArray::new(512, 512).unwrap(), 2_000).unwrap()
     }
 
     #[test]

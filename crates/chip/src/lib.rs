@@ -22,6 +22,11 @@
 //! channel-granular tiling needs a few more resident tiles. The `chip`
 //! experiment binary quantifies this.
 //!
+//! Beyond one-algorithm-for-all deployment, [`optimize`] searches the
+//! per-layer algorithm choice **and** the array split jointly for the
+//! minimum pipeline bottleneck, and [`report`] condenses a deployment
+//! into per-stage cycles, throughput and energy.
+//!
 //! # Example
 //!
 //! ```
@@ -30,17 +35,19 @@
 //! use pim_mapping::MappingAlgorithm;
 //! use pim_nets::zoo;
 //!
-//! let chip = ChipConfig::new(64, PimArray::new(512, 512)?, 2000);
+//! let chip = ChipConfig::new(64, PimArray::new(512, 512)?, 2000)?;
 //! let deployment = allocate::deploy(&zoo::resnet18_table1(), MappingAlgorithm::VwSdk, &chip)?;
 //! assert!(deployment.is_fully_resident());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod allocate;
+pub mod optimize;
 pub mod pipeline;
+pub mod report;
 
 use pim_arch::PimArray;
 use std::error::Error;
@@ -87,22 +94,45 @@ pub struct ChipConfig {
 }
 
 impl ChipConfig {
+    /// Largest accepted reprogramming cost. Stage-cycle math multiplies
+    /// `reprogram_cycles` by a tile count in `u64`; capping the cost at
+    /// 2³² keeps that product far from overflow for every realistic
+    /// tile count (itself bounded by array geometry and layer size).
+    pub const MAX_REPROGRAM_CYCLES: u64 = 1 << 32;
+
     /// Creates a chip with `n_arrays` copies of `array`; reloading one
     /// array's weights costs `reprogram_cycles` computing-cycle
     /// equivalents (RRAM writes are orders of magnitude slower than
     /// reads, so realistic values are large).
-    pub fn new(n_arrays: usize, array: PimArray, reprogram_cycles: u64) -> Self {
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] when `n_arrays` is zero (a chip with no
+    /// arrays cannot deploy anything) or `reprogram_cycles` exceeds
+    /// [`ChipConfig::MAX_REPROGRAM_CYCLES`] (cycle arithmetic could
+    /// overflow `u64`).
+    pub fn new(n_arrays: usize, array: PimArray, reprogram_cycles: u64) -> Result<Self> {
+        if n_arrays == 0 {
+            return Err(ChipError::new("a chip needs at least 1 array, got 0"));
+        }
+        if reprogram_cycles > Self::MAX_REPROGRAM_CYCLES {
+            return Err(ChipError::new(format!(
+                "reprogram cost {reprogram_cycles} exceeds the supported maximum of {} cycles",
+                Self::MAX_REPROGRAM_CYCLES
+            )));
+        }
+        Ok(Self {
             n_arrays,
             array,
             reprogram_cycles,
-        }
+        })
     }
 
     /// A PipeLayer-like configuration: 128 crossbars of 512×512 with an
     /// expensive (2000-cycle) reload.
     pub fn pipelayer_like() -> Self {
         Self::new(128, PimArray::new(512, 512).expect("positive"), 2_000)
+            .expect("the preset is valid")
     }
 
     /// Number of arrays on the chip.
@@ -132,11 +162,25 @@ mod tests {
 
     #[test]
     fn config_accessors() {
-        let chip = ChipConfig::new(8, PimArray::new(256, 256).unwrap(), 100);
+        let chip = ChipConfig::new(8, PimArray::new(256, 256).unwrap(), 100).unwrap();
         assert_eq!(chip.n_arrays(), 8);
         assert_eq!(chip.array().rows(), 256);
         assert_eq!(chip.reprogram_cycles(), 100);
         assert_eq!(chip.total_cells(), 8 * 65_536);
+    }
+
+    #[test]
+    fn zero_arrays_is_a_typed_error() {
+        let err = ChipConfig::new(0, PimArray::new(64, 64).unwrap(), 100).unwrap_err();
+        assert!(err.to_string().contains("at least 1 array"), "{err}");
+    }
+
+    #[test]
+    fn oversized_reprogram_cost_is_rejected() {
+        let array = PimArray::new(64, 64).unwrap();
+        assert!(ChipConfig::new(4, array, ChipConfig::MAX_REPROGRAM_CYCLES).is_ok());
+        let err = ChipConfig::new(4, array, ChipConfig::MAX_REPROGRAM_CYCLES + 1).unwrap_err();
+        assert!(err.to_string().contains("reprogram cost"), "{err}");
     }
 
     #[test]

@@ -81,7 +81,7 @@ mod tests {
     use pim_nets::zoo;
 
     fn resident_deployment() -> Deployment {
-        let chip = ChipConfig::new(64, PimArray::new(512, 512).unwrap(), 2_000);
+        let chip = ChipConfig::new(64, PimArray::new(512, 512).unwrap(), 2_000).unwrap();
         deploy(&zoo::resnet18_table1(), MappingAlgorithm::VwSdk, &chip).unwrap()
     }
 
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn vw_pipeline_beats_im2col_pipeline() {
-        let chip = ChipConfig::new(64, PimArray::new(512, 512).unwrap(), 2_000);
+        let chip = ChipConfig::new(64, PimArray::new(512, 512).unwrap(), 2_000).unwrap();
         let vw = PipelineReport::new(
             &deploy(&zoo::resnet18_table1(), MappingAlgorithm::VwSdk, &chip).unwrap(),
         );

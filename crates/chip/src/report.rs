@@ -1,0 +1,247 @@
+//! Condensed, serializable view of one chip deployment.
+//!
+//! [`DeploymentReport`] flattens a [`Deployment`] plus its
+//! [`PipelineReport`] into plain
+//! numbers — per-layer tiles/arrays/residency/stage cycles, the
+//! pipeline bottleneck, single-image latency, steady-state throughput
+//! and a per-image energy estimate — so the CLI's table renderer and
+//! the HTTP service's JSON view draw from one struct and cannot drift.
+//!
+//! Energy uses [`pim_arch::energy::EnergyModel`] with every granted
+//! array fully active during each of a plan's computing cycles — an
+//! upper bound that preserves the paper's headline relation (energy
+//! ratios follow computing-cycle ratios, ref. \[3\]). Reprogramming
+//! energy is not modeled; starved deployments only pay reloads in
+//! cycles.
+
+use crate::allocate::Deployment;
+use crate::pipeline::PipelineReport;
+use pim_arch::energy::EnergyModel;
+use pim_arch::latency::LatencyModel;
+use pim_mapping::MappingAlgorithm;
+
+/// One pipeline stage (= one layer) of a deployment, flattened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Layer name, as in the network definition.
+    pub layer: String,
+    /// Algorithm the optimizer (or caller) chose for this layer.
+    pub algorithm: MappingAlgorithm,
+    /// Table I-style plan descriptor, e.g. `4x3x42x256`.
+    pub descriptor: String,
+    /// Weight tiles the plan needs resident.
+    pub tiles: u64,
+    /// Arrays granted to the stage.
+    pub arrays: usize,
+    /// Whether every tile has its own array (no reloading).
+    pub resident: bool,
+    /// Per-image stage cycles under the granted arrays.
+    pub stage_cycles: u64,
+    /// Per-image computing cycles summed over all tiles (`NPW·AR·AC`).
+    pub compute_cycles: u64,
+    /// Per-image energy estimate of the stage, in picojoules.
+    pub energy_pj: f64,
+}
+
+/// A full deployment flattened into report numbers; see the
+/// [module docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentReport {
+    network: String,
+    n_arrays: usize,
+    array: String,
+    reprogram_cycles: u64,
+    stages: Vec<StageReport>,
+    arrays_used: usize,
+    tiles_demanded: u64,
+    fully_resident: bool,
+    latency_cycles: u64,
+    bottleneck_cycles: u64,
+    bottleneck_stage: Option<usize>,
+    throughput_ips: f64,
+    energy_per_image_pj: f64,
+}
+
+impl DeploymentReport {
+    /// Builds the report under explicit latency and energy models.
+    pub fn new(
+        network: impl Into<String>,
+        deployment: &Deployment,
+        latency: &LatencyModel,
+        energy: &EnergyModel,
+    ) -> Self {
+        let chip = deployment.chip();
+        let pipe = PipelineReport::new(deployment);
+        let array = chip.array();
+        let cycle_pj = energy.cycle_energy_pj(array.rows(), array.cols(), array.cells());
+        let stages: Vec<StageReport> = deployment
+            .allocations()
+            .iter()
+            .map(|alloc| {
+                let plan = alloc.plan();
+                let compute_cycles = plan.n_parallel_windows() * alloc.tiles();
+                StageReport {
+                    layer: plan.layer().name().to_string(),
+                    algorithm: plan.algorithm(),
+                    descriptor: plan.descriptor(),
+                    tiles: alloc.tiles(),
+                    arrays: alloc.arrays(),
+                    resident: alloc.is_resident(),
+                    stage_cycles: alloc.stage_cycles(chip.reprogram_cycles()),
+                    compute_cycles,
+                    energy_pj: compute_cycles as f64 * cycle_pj,
+                }
+            })
+            .collect();
+        let energy_per_image_pj = stages.iter().map(|s| s.energy_pj).sum();
+        Self {
+            network: network.into(),
+            n_arrays: chip.n_arrays(),
+            array: array.to_string(),
+            reprogram_cycles: chip.reprogram_cycles(),
+            arrays_used: deployment.arrays_used(),
+            tiles_demanded: deployment.tiles_demanded(),
+            fully_resident: deployment.is_fully_resident(),
+            latency_cycles: pipe.latency_cycles(),
+            bottleneck_cycles: pipe.bottleneck_cycles(),
+            bottleneck_stage: pipe.bottleneck_stage(),
+            throughput_ips: pipe.throughput_ips(latency),
+            energy_per_image_pj,
+            stages,
+        }
+    }
+
+    /// Builds the report with the ISAAC-class default latency and
+    /// energy models — the configuration every frontend uses.
+    pub fn with_defaults(network: impl Into<String>, deployment: &Deployment) -> Self {
+        Self::new(
+            network,
+            deployment,
+            &LatencyModel::isaac_like(),
+            &EnergyModel::isaac_like(),
+        )
+    }
+
+    /// The deployed network's name.
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
+    /// The chip's array budget.
+    pub fn n_arrays(&self) -> usize {
+        self.n_arrays
+    }
+
+    /// The chip's array geometry, as `RxC`.
+    pub fn array(&self) -> &str {
+        &self.array
+    }
+
+    /// The chip's reprogramming cost in cycles.
+    pub fn reprogram_cycles(&self) -> u64 {
+        self.reprogram_cycles
+    }
+
+    /// Per-stage reports, in network order.
+    pub fn stages(&self) -> &[StageReport] {
+        &self.stages
+    }
+
+    /// Arrays actually granted across all stages (≤ the budget).
+    pub fn arrays_used(&self) -> usize {
+        self.arrays_used
+    }
+
+    /// Total weight tiles demanded by the chosen plans.
+    pub fn tiles_demanded(&self) -> u64 {
+        self.tiles_demanded
+    }
+
+    /// Whether every stage holds all of its tiles resident.
+    pub fn fully_resident(&self) -> bool {
+        self.fully_resident
+    }
+
+    /// Single-image latency: the sum of all stage cycles.
+    pub fn latency_cycles(&self) -> u64 {
+        self.latency_cycles
+    }
+
+    /// The slowest stage's cycles — the pipeline initiation interval.
+    pub fn bottleneck_cycles(&self) -> u64 {
+        self.bottleneck_cycles
+    }
+
+    /// Index of the bottleneck stage (`None` for an empty deployment).
+    pub fn bottleneck_stage(&self) -> Option<usize> {
+        self.bottleneck_stage
+    }
+
+    /// Steady-state throughput in images per second.
+    pub fn throughput_ips(&self) -> f64 {
+        self.throughput_ips
+    }
+
+    /// Per-image energy estimate across all stages, in picojoules.
+    pub fn energy_per_image_pj(&self) -> f64 {
+        self.energy_per_image_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocate::deploy;
+    use crate::ChipConfig;
+    use pim_arch::PimArray;
+    use pim_nets::zoo;
+
+    fn resnet_report(n: usize) -> DeploymentReport {
+        let chip = ChipConfig::new(n, PimArray::new(512, 512).unwrap(), 2_000).unwrap();
+        let d = deploy(&zoo::resnet18_table1(), MappingAlgorithm::VwSdk, &chip).unwrap();
+        DeploymentReport::with_defaults("ResNet-18", &d)
+    }
+
+    #[test]
+    fn report_flattens_the_resident_deployment() {
+        let r = resnet_report(64);
+        assert_eq!(r.network(), "ResNet-18");
+        assert_eq!(r.array(), "512x512");
+        assert!(r.fully_resident());
+        assert_eq!(r.tiles_demanded(), 23);
+        assert_eq!(r.latency_cycles(), 2_426);
+        assert_eq!(r.bottleneck_cycles(), 1_431);
+        assert_eq!(r.bottleneck_stage(), Some(0));
+        assert_eq!(r.stages().len(), 5);
+        assert!(r.stages().iter().all(|s| s.resident));
+        // 100 ns/cycle -> throughput = 1e7 / bottleneck.
+        assert!((r.throughput_ips() - 1e7 / 1_431.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn energy_sums_stage_estimates_and_tracks_cycles() {
+        let r = resnet_report(64);
+        let total: f64 = r.stages().iter().map(|s| s.energy_pj).sum();
+        assert!((r.energy_per_image_pj() - total).abs() < 1e-6);
+        for s in r.stages() {
+            // Resident stages run NPW cycles, so total compute cycles
+            // are tiles x stage cycles.
+            assert_eq!(s.compute_cycles, s.tiles * s.stage_cycles);
+            assert!(s.energy_pj > 0.0);
+        }
+        // Energy is proportional to compute cycles under one chip model.
+        let a = &r.stages()[0];
+        let b = &r.stages()[1];
+        let ratio = a.energy_pj / b.energy_pj;
+        let cycles_ratio = a.compute_cycles as f64 / b.compute_cycles as f64;
+        assert!((ratio - cycles_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn starved_chip_is_reported_as_not_resident() {
+        let r = resnet_report(5);
+        assert!(!r.fully_resident());
+        assert!(r.stages().iter().any(|s| !s.resident));
+        assert!(r.bottleneck_cycles() > 1_431);
+    }
+}

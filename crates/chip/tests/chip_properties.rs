@@ -35,7 +35,7 @@ proptest! {
         n_arrays in 1usize..64,
         reload in 0u64..5_000,
     ) {
-        let chip = ChipConfig::new(n_arrays, PimArray::new(128, 128).expect("positive"), reload);
+        let chip = ChipConfig::new(n_arrays, PimArray::new(128, 128).expect("positive"), reload).expect("valid");
         match deploy(&net, MappingAlgorithm::VwSdk, &chip) {
             Err(_) => prop_assert!(n_arrays < net.len()),
             Ok(d) => {
@@ -59,7 +59,7 @@ proptest! {
     /// latency/bottleneck.
     #[test]
     fn pipeline_identities(net in network_strategy(), n_arrays in 6usize..64) {
-        let chip = ChipConfig::new(n_arrays, PimArray::new(128, 128).expect("positive"), 1_000);
+        let chip = ChipConfig::new(n_arrays, PimArray::new(128, 128).expect("positive"), 1_000).expect("valid");
         if let Ok(d) = deploy(&net, MappingAlgorithm::VwSdk, &chip) {
             let p = PipelineReport::new(&d);
             prop_assert_eq!(p.latency_cycles(), p.stage_cycles().iter().sum::<u64>());
@@ -80,8 +80,8 @@ proptest! {
     /// greedy allocator).
     #[test]
     fn more_arrays_never_hurt(net in network_strategy(), base in 6usize..32) {
-        let small = ChipConfig::new(base, PimArray::new(128, 128).expect("positive"), 1_000);
-        let large = ChipConfig::new(base * 2, PimArray::new(128, 128).expect("positive"), 1_000);
+        let small = ChipConfig::new(base, PimArray::new(128, 128).expect("positive"), 1_000).expect("valid");
+        let large = ChipConfig::new(base * 2, PimArray::new(128, 128).expect("positive"), 1_000).expect("valid");
         if let (Ok(a), Ok(b)) = (
             deploy(&net, MappingAlgorithm::VwSdk, &small),
             deploy(&net, MappingAlgorithm::VwSdk, &large),

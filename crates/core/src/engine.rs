@@ -93,8 +93,9 @@ impl fmt::Display for EngineStats {
     }
 }
 
-/// Parallel, memoizing planner for batch workloads; see the
-/// [module docs](self).
+/// Parallel, memoizing planner for batch workloads: plans are cached
+/// by `(shape, array, algorithm)`, layer planning fans out across
+/// scoped worker threads, and batch/deployment APIs share one cache.
 #[derive(Debug)]
 pub struct PlanningEngine {
     algorithms: Vec<MappingAlgorithm>,
@@ -325,6 +326,66 @@ impl PlanningEngine {
             }
         }
         Ok(reports)
+    }
+
+    /// Deploys a network onto a many-array chip, letting the
+    /// [`pim_chip::optimize`] search pick each layer's algorithm from
+    /// the paper trio (im2col / SDK / VW-SDK) and split the array
+    /// budget for the minimum pipeline bottleneck.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VwSdkError`] if the chip has fewer arrays than the
+    /// network has layers, or planning fails.
+    pub fn deploy_network(
+        &self,
+        network: &Network,
+        chip: &pim_chip::ChipConfig,
+    ) -> Result<pim_chip::allocate::Deployment> {
+        self.deploy_network_with(network, chip, &MappingAlgorithm::paper_trio())
+    }
+
+    /// Deploys a network onto a chip with an explicit candidate
+    /// algorithm set (see [`PlanningEngine::deploy_network`]).
+    ///
+    /// Candidate plans come from the engine's shape-keyed cache —
+    /// repeated shapes and repeated deployments are planned once — and
+    /// fresh `(layer, algorithm)` plans fan out across the engine's
+    /// workers. The resulting deployment is byte-identical to the
+    /// sequential [`pim_chip::optimize::deploy_mixed`] path for the
+    /// same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VwSdkError`] for an empty network or algorithm set, a
+    /// chip with fewer arrays than layers, or a planning failure.
+    pub fn deploy_network_with(
+        &self,
+        network: &Network,
+        chip: &pim_chip::ChipConfig,
+        algorithms: &[MappingAlgorithm],
+    ) -> Result<pim_chip::allocate::Deployment> {
+        let mut tasks: Vec<(&ConvLayer, MappingAlgorithm)> =
+            Vec::with_capacity(network.len() * algorithms.len());
+        for layer in network.layers() {
+            for &algorithm in algorithms {
+                tasks.push((layer, algorithm));
+            }
+        }
+        let planned = self.parallel_map(&tasks, |&(layer, algorithm)| {
+            self.plan(layer, chip.array(), algorithm)
+        });
+        let mut results = planned.into_iter();
+        let mut candidates = Vec::with_capacity(network.len());
+        for _ in 0..network.len() {
+            let mut plans = Vec::with_capacity(algorithms.len());
+            for _ in 0..algorithms.len() {
+                plans.push(results.next().expect("one plan per task")?);
+            }
+            candidates.push(plans);
+        }
+        pim_chip::optimize::optimize_allocation(&candidates, chip)
+            .map_err(|e| VwSdkError::new(e.to_string()))
     }
 
     /// Cached Algorithm 1 search (see [`SearchCache`]). The result is
@@ -601,6 +662,46 @@ mod tests {
         assert_eq!(engine.stats().plan_entries, 0);
         let second = engine.plan_network(&zoo::vgg13(), arr(512, 512)).unwrap();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn deploy_matches_the_sequential_optimizer_path() {
+        let chip = pim_chip::ChipConfig::new(32, arr(512, 512), 2_000).expect("valid chip config");
+        let engine = PlanningEngine::new().with_jobs(4);
+        for network in [zoo::resnet18_table1(), zoo::vgg13()] {
+            let parallel = engine.deploy_network(&network, &chip).unwrap();
+            let sequential =
+                pim_chip::optimize::deploy_mixed(&network, &MappingAlgorithm::paper_trio(), &chip)
+                    .unwrap();
+            assert_eq!(parallel, sequential);
+            assert_eq!(format!("{parallel:?}"), format!("{sequential:?}"));
+        }
+    }
+
+    #[test]
+    fn repeated_deployments_hit_the_plan_cache() {
+        let chip = pim_chip::ChipConfig::new(64, arr(512, 512), 2_000).expect("valid chip config");
+        let engine = PlanningEngine::new();
+        let first = engine.deploy_network(&zoo::vgg13(), &chip).unwrap();
+        let misses = engine.stats().plan_misses;
+        let second = engine.deploy_network(&zoo::vgg13(), &chip).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().plan_misses, misses);
+        assert!(engine.stats().plan_hits > 0);
+    }
+
+    #[test]
+    fn deploy_errors_propagate_cleanly() {
+        let chip = pim_chip::ChipConfig::new(3, arr(512, 512), 2_000).expect("valid chip config");
+        let engine = PlanningEngine::new();
+        let err = engine
+            .deploy_network(&zoo::resnet18_table1(), &chip)
+            .unwrap_err();
+        assert!(err.to_string().contains("3 arrays"), "{err}");
+        let err = engine
+            .deploy_network_with(&zoo::resnet18_table1(), &chip, &[])
+            .unwrap_err();
+        assert!(err.to_string().contains("candidate plan"), "{err}");
     }
 
     #[test]

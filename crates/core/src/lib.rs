@@ -13,6 +13,9 @@
 //! * [`pim_arch`] — crossbar geometry, energy and utilization models;
 //! * [`pim_cost`] — the paper's cycle equations (1)–(8) and Algorithm 1;
 //! * [`pim_mapping`] — planners and cell-level layouts;
+//! * [`pim_chip`] — many-array chips: allocation, pipelining and the
+//!   mixed-algorithm deployment optimizer behind
+//!   [`PlanningEngine::deploy_network`];
 //! * [`pim_sim`] — a functional simulator proving the mappings correct;
 //! * [`pim_report`] — text tables and charts for the experiment binaries.
 //!
@@ -33,7 +36,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod engine;
 mod planner;
@@ -43,6 +46,7 @@ pub use engine::{EngineStats, PlanningEngine};
 pub use planner::{LayerComparison, NetworkReport, Planner};
 
 pub use pim_arch;
+pub use pim_chip;
 pub use pim_cost;
 pub use pim_mapping;
 pub use pim_nets;

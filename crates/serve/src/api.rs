@@ -53,11 +53,16 @@ pub fn array_from_json(value: &JsonValue) -> Result<PimArray, String> {
     }
 }
 
+/// An `f64` rounded to two decimals, as a JSON number. Rendering
+/// through [`fmt_f64`] keeps the API's numbers the same rounding the
+/// text tables print.
+fn rounded2(value: f64) -> JsonValue {
+    JsonValue::Number(fmt_f64(value, 2).parse::<f64>().unwrap_or(value))
+}
+
 /// Speedup rounded to the paper's two decimals, as a JSON number.
 fn speedup_number(ratio: f64) -> JsonValue {
-    // Render through fmt_f64 so "4.67" the table prints and 4.67 the
-    // API returns are the same rounding of the same ratio.
-    JsonValue::Number(fmt_f64(ratio, 2).parse::<f64>().unwrap_or(ratio))
+    rounded2(ratio)
 }
 
 /// One mapping plan as JSON: window, tiling, cycle breakdown.
@@ -159,6 +164,63 @@ pub fn sweep_json(reports: &[NetworkReport], stats: &EngineStats) -> JsonValue {
             JsonValue::array(reports.iter().map(report_summary_json)),
         ),
         ("cache", stats_json(stats)),
+    ])
+}
+
+/// One deployment stage as JSON.
+fn stage_json(stage: &pim_chip::report::StageReport) -> JsonValue {
+    JsonValue::object([
+        ("layer", JsonValue::from(stage.layer.as_str())),
+        ("algorithm", JsonValue::from(stage.algorithm.label())),
+        ("descriptor", JsonValue::from(stage.descriptor.as_str())),
+        ("tiles", stage.tiles.into()),
+        ("arrays", stage.arrays.into()),
+        ("resident", stage.resident.into()),
+        ("stage_cycles", stage.stage_cycles.into()),
+        ("compute_cycles", stage.compute_cycles.into()),
+        ("energy_pj", rounded2(stage.energy_pj)),
+    ])
+}
+
+/// A chip deployment report as JSON — the payload `POST /v1/deploy`
+/// answers with, and exactly what `vwsdk deploy --format json` prints
+/// (the acceptance tests assert the two are identical).
+pub fn deployment_json(report: &pim_chip::report::DeploymentReport) -> JsonValue {
+    JsonValue::object([
+        ("network", JsonValue::from(report.network())),
+        (
+            "chip",
+            JsonValue::object([
+                ("arrays", report.n_arrays().into()),
+                ("array", JsonValue::from(report.array())),
+                ("reprogram_cycles", report.reprogram_cycles().into()),
+            ]),
+        ),
+        (
+            "layers",
+            JsonValue::array(report.stages().iter().map(stage_json)),
+        ),
+        ("arrays_used", report.arrays_used().into()),
+        ("tiles_demanded", report.tiles_demanded().into()),
+        ("fully_resident", report.fully_resident().into()),
+        (
+            "bottleneck",
+            JsonValue::object([
+                ("cycles", report.bottleneck_cycles().into()),
+                (
+                    "stage",
+                    report
+                        .bottleneck_stage()
+                        .map_or(JsonValue::Null, JsonValue::from),
+                ),
+            ]),
+        ),
+        ("latency_cycles", report.latency_cycles().into()),
+        ("throughput_ips", rounded2(report.throughput_ips())),
+        (
+            "energy_per_image_pj",
+            rounded2(report.energy_per_image_pj()),
+        ),
     ])
 }
 
@@ -274,6 +336,43 @@ mod tests {
         let summary = report_summary_json(&report);
         assert!(summary.get("layers").is_none());
         assert!(summary.get("totals").is_some());
+    }
+
+    #[test]
+    fn deployment_json_carries_chip_and_stage_facts() {
+        use pim_chip::report::DeploymentReport;
+        use pim_chip::{optimize, ChipConfig};
+        let chip = ChipConfig::new(32, arr(512, 512), 2_000).expect("valid chip");
+        let deployment = optimize::deploy_mixed(
+            &zoo::resnet18_table1(),
+            &MappingAlgorithm::paper_trio(),
+            &chip,
+        )
+        .expect("deployable");
+        let report = DeploymentReport::with_defaults("ResNet-18", &deployment);
+        let json = deployment_json(&report);
+        assert_eq!(
+            json.get("network").and_then(JsonValue::as_str),
+            Some("ResNet-18")
+        );
+        assert_eq!(
+            json.get("chip")
+                .and_then(|c| c.get("arrays"))
+                .and_then(JsonValue::as_u64),
+            Some(32)
+        );
+        let layers = json.get("layers").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(layers.len(), 5);
+        assert!(layers[0]
+            .get("algorithm")
+            .and_then(JsonValue::as_str)
+            .is_some());
+        assert!(json
+            .get("bottleneck")
+            .and_then(|b| b.get("cycles"))
+            .is_some());
+        // Deterministic rendering.
+        assert_eq!(json.render(), deployment_json(&report).render());
     }
 
     #[test]

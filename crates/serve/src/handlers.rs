@@ -12,6 +12,8 @@
 use crate::api;
 use crate::state::ServerState;
 use pim_arch::{presets, PimArray};
+use pim_chip::report::DeploymentReport;
+use pim_chip::ChipConfig;
 use pim_mapping::MappingAlgorithm;
 use pim_nets::{zoo, Network, NetworkSpec};
 use pim_report::json::JsonValue;
@@ -28,6 +30,15 @@ const MAX_SPEC_DIM: usize = 16_384;
 const MAX_SPEC_CHANNELS: usize = 65_536;
 /// Largest array axis a request may name.
 const MAX_ARRAY_DIM: usize = 65_536;
+/// Largest chip array budget a deploy request may name. The optimizer's
+/// work grows with the budget, so hostile requests are bounded here the
+/// same way spec dimensions are.
+const MAX_CHIP_ARRAYS: usize = 65_536;
+/// Deploy default when the request names no `"arrays"` budget — the
+/// PipeLayer-like preset size.
+const DEFAULT_CHIP_ARRAYS: usize = 128;
+/// Deploy default when the request names no `"reprogram"` cost.
+const DEFAULT_REPROGRAM_CYCLES: u64 = 2_000;
 
 fn bad_request(message: impl Into<String>) -> HandlerError {
     (400, message.into())
@@ -176,28 +187,30 @@ fn spec_network(value: &JsonValue) -> Result<Network, HandlerError> {
     spec.to_network().map_err(|e| unprocessable(e.to_string()))
 }
 
+/// Resolves the mutually exclusive `"network"` (zoo name) / `"spec"`
+/// (inline network) pair shared by the plan and deploy endpoints.
+fn network_field(body: &JsonValue) -> Result<Network, HandlerError> {
+    match (body.get("network"), body.get("spec")) {
+        (Some(_), Some(_)) => Err(bad_request("give either \"network\" or \"spec\", not both")),
+        (None, None) => Err(bad_request(
+            "the request needs \"network\" (zoo name) or \"spec\" (inline network)",
+        )),
+        (Some(name), None) => {
+            let name = name
+                .as_str()
+                .ok_or_else(|| bad_request("\"network\" must be a string"))?;
+            zoo_network(name)
+        }
+        (None, Some(spec)) => spec_network(spec),
+    }
+}
+
 /// `POST /v1/plan` — body: `{"network": NAME | "spec": {...},
 /// "array"?: "RxC" | {"rows","cols"}, "algorithms"?: [LABEL, ...]}`.
 pub fn plan(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError> {
     let body = parse_body(body)?;
     check_known_fields(&body, &["network", "spec", "array", "algorithms"])?;
-    let network = match (body.get("network"), body.get("spec")) {
-        (Some(_), Some(_)) => {
-            return Err(bad_request("give either \"network\" or \"spec\", not both"))
-        }
-        (None, None) => {
-            return Err(bad_request(
-                "a plan request needs \"network\" (zoo name) or \"spec\" (inline network)",
-            ))
-        }
-        (Some(name), None) => {
-            let name = name
-                .as_str()
-                .ok_or_else(|| bad_request("\"network\" must be a string"))?;
-            zoo_network(name)?
-        }
-        (None, Some(spec)) => spec_network(spec)?,
-    };
+    let network = network_field(&body)?;
     let array = array_field(&body)?;
     let algorithms = algorithms_field(&body)?;
     let report = state
@@ -283,6 +296,61 @@ pub fn sweep(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError
     }
     state.trim_caches();
     Ok(api::sweep_json(&reports, &state.engine().stats()))
+}
+
+/// `POST /v1/deploy` — body: `{"network": NAME | "spec": {...},
+/// "array"?: "RxC" | {"rows","cols"}, "arrays"?: N, "reprogram"?: N,
+/// "algorithms"?: [LABEL, ...]}`. Defaults: a 128-array chip of
+/// 512×512 crossbars with a 2000-cycle reload, optimizing over the
+/// paper trio.
+///
+/// The response is [`api::deployment_json`] exactly — no appended cache
+/// member — so `vwsdk deploy --format json` and this endpoint answer
+/// identical JSON for the same question.
+pub fn deploy(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError> {
+    let body = parse_body(body)?;
+    check_known_fields(
+        &body,
+        &[
+            "network",
+            "spec",
+            "array",
+            "arrays",
+            "reprogram",
+            "algorithms",
+        ],
+    )?;
+    let network = network_field(&body)?;
+    let array = array_field(&body)?;
+    let n_arrays = match body.get("arrays") {
+        None => DEFAULT_CHIP_ARRAYS,
+        Some(value) => value
+            .as_usize()
+            .ok_or_else(|| bad_request("\"arrays\" must be an integer array count"))?,
+    };
+    if n_arrays > MAX_CHIP_ARRAYS {
+        return Err(unprocessable(format!(
+            "chip budget {n_arrays} exceeds the service limit of {MAX_CHIP_ARRAYS} arrays"
+        )));
+    }
+    let reprogram = match body.get("reprogram") {
+        None => DEFAULT_REPROGRAM_CYCLES,
+        Some(value) => value
+            .as_u64()
+            .ok_or_else(|| bad_request("\"reprogram\" must be an integer cycle count"))?,
+    };
+    let algorithms = algorithms_field(&body)?;
+    let chip =
+        ChipConfig::new(n_arrays, array, reprogram).map_err(|e| unprocessable(e.to_string()))?;
+    let deployment = state
+        .engine()
+        .deploy_network_with(&network, &chip, &algorithms)
+        .map_err(|e| unprocessable(e.to_string()))?;
+    state.trim_caches();
+    Ok(api::deployment_json(&DeploymentReport::with_defaults(
+        network.name(),
+        &deployment,
+    )))
 }
 
 #[cfg(test)]
@@ -514,6 +582,88 @@ mod tests {
             sweep(&s, br#"{"networks": ["nonexistent"]}"#)
                 .unwrap_err()
                 .0,
+            422
+        );
+    }
+
+    #[test]
+    fn deploy_answers_the_optimizer_report() {
+        let s = state();
+        let response = deploy(
+            &s,
+            br#"{"network": "resnet18", "arrays": 32, "array": "512x512"}"#,
+        )
+        .unwrap();
+        // Byte-identical to the sequential optimizer path rendered
+        // through the same JSON view.
+        let chip = ChipConfig::new(32, PimArray::new(512, 512).unwrap(), 2_000).unwrap();
+        let expected = pim_chip::optimize::deploy_mixed(
+            &zoo::resnet18_table1(),
+            &MappingAlgorithm::paper_trio(),
+            &chip,
+        )
+        .unwrap();
+        let expected =
+            api::deployment_json(&DeploymentReport::with_defaults("ResNet-18", &expected));
+        assert_eq!(response.render(), expected.render());
+        let layers = response
+            .get("layers")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(layers.len(), 5);
+    }
+
+    #[test]
+    fn deploy_defaults_to_the_pipelayer_like_chip() {
+        let response = deploy(&state(), br#"{"network": "tiny"}"#).unwrap();
+        let chip = response.get("chip").unwrap();
+        assert_eq!(chip.get("arrays").and_then(JsonValue::as_u64), Some(128));
+        assert_eq!(
+            chip.get("array").and_then(JsonValue::as_str),
+            Some("512x512")
+        );
+        assert_eq!(
+            chip.get("reprogram_cycles").and_then(JsonValue::as_u64),
+            Some(2_000)
+        );
+    }
+
+    #[test]
+    fn deploy_rejects_malformed_and_impossible_requests() {
+        let s = state();
+        // Malformed shapes are 400.
+        assert_eq!(deploy(&s, b"not json").unwrap_err().0, 400);
+        assert_eq!(
+            deploy(&s, br#"{"network": "tiny", "arrays": "many"}"#)
+                .unwrap_err()
+                .0,
+            400
+        );
+        assert_eq!(
+            deploy(&s, br#"{"network": "tiny", "reprogram": "slow"}"#)
+                .unwrap_err()
+                .0,
+            400
+        );
+        assert_eq!(
+            deploy(&s, br#"{"network": "tiny", "bogus": 1}"#)
+                .unwrap_err()
+                .0,
+            400
+        );
+        // Impossible requests are 422 with the reason.
+        let (status, message) = deploy(&s, br#"{"network": "tiny", "arrays": 0}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("at least 1 array"), "{message}");
+        let (status, message) = deploy(&s, br#"{"network": "resnet18", "arrays": 3}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("3 arrays"), "{message}");
+        let (status, message) =
+            deploy(&s, br#"{"network": "tiny", "arrays": 1000000}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("service limit"), "{message}");
+        assert_eq!(
+            deploy(&s, br#"{"network": "nonexistent"}"#).unwrap_err().0,
             422
         );
     }

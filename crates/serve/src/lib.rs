@@ -18,6 +18,7 @@
 //! | `GET /v1/networks` | — | the model zoo |
 //! | `POST /v1/plan` | `{"network"\|"spec", "array"?, "algorithms"?}` | per-layer windows, cycles, speedups, cache stats |
 //! | `POST /v1/sweep` | `{"networks"?, "specs"?, "arrays"?, "algorithms"?}` | summary per (network, array) pair |
+//! | `POST /v1/deploy` | `{"network"\|"spec", "array"?, "arrays"?, "reprogram"?, "algorithms"?}` | bottleneck-optimal chip deployment: per-layer algorithm/array split, pipeline timing, energy |
 //!
 //! Malformed JSON answers `400`, impossible requests (unknown network,
 //! invalid spec geometry) answer `422` — always as structured JSON
@@ -48,7 +49,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod api;
 pub mod handlers;
@@ -269,6 +270,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                         Route::Networks => Ok(handlers::networks()),
                         Route::Plan => handlers::plan(state, &request.body),
                         Route::Sweep => handlers::sweep(state, &request.body),
+                        Route::Deploy => handlers::deploy(state, &request.body),
                     }));
                 match result {
                     Ok(Ok(value)) => (200, value),

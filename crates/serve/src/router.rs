@@ -1,6 +1,6 @@
 //! Route table of the planning API.
 //!
-//! Small and closed on purpose: four endpoints, each with exactly one
+//! Small and closed on purpose: five endpoints, each with exactly one
 //! method. Unknown paths answer `404`, known paths with the wrong
 //! method answer `405` — both as structured JSON, never a dropped
 //! connection.
@@ -16,6 +16,9 @@ pub enum Route {
     Plan,
     /// `POST /v1/sweep` — batch design-space sweep.
     Sweep,
+    /// `POST /v1/deploy` — chip-scale deployment with the
+    /// mixed-algorithm budget optimizer.
+    Deploy,
 }
 
 impl Route {
@@ -23,7 +26,7 @@ impl Route {
     pub fn method(&self) -> &'static str {
         match self {
             Route::Healthz | Route::Networks => "GET",
-            Route::Plan | Route::Sweep => "POST",
+            Route::Plan | Route::Sweep | Route::Deploy => "POST",
         }
     }
 
@@ -34,12 +37,19 @@ impl Route {
             Route::Networks => "/v1/networks",
             Route::Plan => "/v1/plan",
             Route::Sweep => "/v1/sweep",
+            Route::Deploy => "/v1/deploy",
         }
     }
 
     /// Every route, for documentation-style error messages.
-    pub fn all() -> [Route; 4] {
-        [Route::Healthz, Route::Networks, Route::Plan, Route::Sweep]
+    pub fn all() -> [Route; 5] {
+        [
+            Route::Healthz,
+            Route::Networks,
+            Route::Plan,
+            Route::Sweep,
+            Route::Deploy,
+        ]
     }
 }
 
@@ -80,6 +90,7 @@ mod tests {
         assert_eq!(resolve("GET", "/v1/networks").unwrap(), Route::Networks);
         assert_eq!(resolve("POST", "/v1/plan").unwrap(), Route::Plan);
         assert_eq!(resolve("POST", "/v1/sweep").unwrap(), Route::Sweep);
+        assert_eq!(resolve("POST", "/v1/deploy").unwrap(), Route::Deploy);
     }
 
     #[test]

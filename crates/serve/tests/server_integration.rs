@@ -151,7 +151,61 @@ fn malformed_and_impossible_requests_answer_structured_4xx() {
 }
 
 #[test]
-fn the_four_endpoints_answer() {
+fn deploy_answers_the_optimizer_and_rejects_malformed_specs() {
+    let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    // Happy path: the response is byte-identical to the in-process
+    // optimizer rendered through the same JSON view.
+    let (status, payload) = request(
+        addr,
+        "POST",
+        "/v1/deploy",
+        r#"{"network": "resnet18", "arrays": 32, "array": "512x512", "reprogram": 2000}"#,
+    );
+    assert_eq!(status, 200, "{payload}");
+    let chip = pim_chip::ChipConfig::new(32, PimArray::new(512, 512).expect("positive"), 2_000)
+        .expect("valid chip");
+    let deployment = pim_chip::optimize::deploy_mixed(
+        &zoo::resnet18_table1(),
+        &pim_mapping::MappingAlgorithm::paper_trio(),
+        &chip,
+    )
+    .expect("deployable");
+    let expected = api::deployment_json(&pim_chip::report::DeploymentReport::with_defaults(
+        "ResNet-18",
+        &deployment,
+    ))
+    .render();
+    assert_eq!(payload, expected);
+
+    // Malformed spec → 4xx structured JSON, never a dropped connection.
+    let (status, payload) = request(
+        addr,
+        "POST",
+        "/v1/deploy",
+        r#"{"spec": {"name": "bad", "layers": [
+            {"input": 2, "kernel": 7, "in_channels": 1, "out_channels": 1}
+        ]}, "arrays": 8}"#,
+    );
+    assert_eq!(status, 422, "{payload}");
+    let error = JsonValue::parse(&payload).expect("error body is JSON");
+    assert_eq!(
+        error
+            .get("error")
+            .and_then(|e| e.get("status"))
+            .and_then(JsonValue::as_u64),
+        Some(422)
+    );
+    let (status, payload) = request(addr, "POST", "/v1/deploy", r#"{"arrays": true}"#);
+    assert_eq!(status, 400, "{payload}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn the_five_endpoints_answer() {
     let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
     let addr = server.local_addr().expect("bound");
     let handle = server.spawn();
@@ -182,6 +236,15 @@ fn the_four_endpoints_answer() {
 
     let (status, _) = request(addr, "POST", "/v1/plan", r#"{"network": "tiny"}"#);
     assert_eq!(status, 200);
+
+    let (status, payload) = request(
+        addr,
+        "POST",
+        "/v1/deploy",
+        r#"{"network": "tiny", "arrays": 8, "array": "64x64"}"#,
+    );
+    assert_eq!(status, 200, "{payload}");
+    assert!(payload.contains("\"bottleneck\""), "{payload}");
 
     handle.shutdown();
 }

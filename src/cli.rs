@@ -12,6 +12,8 @@
 //! vwsdk verify --network tiny --array 64x64
 //! vwsdk sweep  --networks vgg13,resnet18 --arrays 256x256,512x512 --jobs 4
 //! vwsdk sweep  --networks all --format json
+//! vwsdk deploy --network resnet18 --arrays 32 --array 512x512 --format json
+//! vwsdk deploy --spec examples/specs/edge_cnn.json --arrays 16 --reprogram 4000
 //! vwsdk serve  --addr 127.0.0.1:7878 --jobs 8
 //! ```
 //!
@@ -22,8 +24,8 @@
 use pim_arch::{presets, PimArray};
 use pim_mapping::MappingAlgorithm;
 use pim_nets::{zoo, ConvLayer, Network, NetworkSpec};
-use pim_report::fmt_speedup;
 use pim_report::table::{Align, TextTable};
+use pim_report::{fmt_f64, fmt_speedup};
 use pim_sim::verify::verify_plan;
 use std::fmt;
 use std::sync::OnceLock;
@@ -72,17 +74,26 @@ COMMANDS:
                                       --arrays RxC,... --jobs N [--format text|json])
                                      defaults: every zoo network, the Fig. 8(b)
                                      array sizes, one worker per core
+    deploy   Chip-scale deployment   (--network NAME | --spec FILE.json,
+                                      --arrays N --array RxC --reprogram N
+                                      [--format table|json])
+                                     mixed-algorithm budget optimizer: per-layer
+                                     im2col/SDK/VW-SDK choice + array split for
+                                     the minimum pipeline bottleneck
     serve    HTTP planning daemon    (--addr HOST:PORT --jobs N)
                                      endpoints: GET /healthz, GET /v1/networks,
-                                     POST /v1/plan, POST /v1/sweep
+                                     POST /v1/plan, POST /v1/sweep,
+                                     POST /v1/deploy
 
 OPTIONS:
     --array RxC     PIM array geometry, e.g. 512x512 (default 512x512)
     --network NAME  Zoo network name (see `vwsdk list`)
     --networks A,B  Comma-separated zoo networks, or `all` (sweep)
-    --arrays L,M    Comma-separated array geometries (sweep)
-    --spec FILE     JSON network spec (plan, sweep; see examples/specs/)
-    --format F      Sweep output: text (default) or json
+    --arrays X      Sweep: comma-separated geometries; deploy: the chip's
+                    array count (default 128)
+    --reprogram N   Deploy: array reload cost in cycles (default 2000)
+    --spec FILE     JSON network spec (plan, sweep, deploy; see examples/specs/)
+    --format F      Output: text/table (default) or json (sweep, deploy)
     --jobs N        Worker threads; 0 = one per core (sweep: planners,
                     serve: connection workers)
     --addr H:P      Serve bind address (default 127.0.0.1:7878)
@@ -98,12 +109,14 @@ pub enum NetworkSource {
     SpecFile(String),
 }
 
-/// Output format of `vwsdk sweep`.
+/// Output format of `vwsdk sweep` and `vwsdk deploy` (`--format`
+/// accepts `text` and `table` interchangeably for the first variant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SweepFormat {
     /// The aligned text table (default).
     Text,
-    /// The service's JSON schema (`api::report_summary_json` per report).
+    /// The service's JSON schema (`api::report_summary_json` per sweep
+    /// report, `api::deployment_json` for a deployment).
     Json,
 }
 
@@ -163,6 +176,19 @@ pub enum Command {
         arrays: Vec<PimArray>,
         /// Worker threads (0 = one per core).
         jobs: usize,
+        /// Output format.
+        format: SweepFormat,
+    },
+    /// `vwsdk deploy`
+    Deploy {
+        /// Zoo name or spec file to deploy.
+        network: NetworkSource,
+        /// Geometry of each crossbar array on the chip.
+        array: PimArray,
+        /// The chip's array budget.
+        arrays: usize,
+        /// Array reload cost in cycles.
+        reprogram: u64,
         /// Output format.
         format: SweepFormat,
     },
@@ -259,10 +285,13 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
     let mut algorithm = MappingAlgorithm::VwSdk;
     let mut array_set = false;
     let mut networks: Option<Vec<String>> = None;
-    let mut arrays: Option<Vec<PimArray>> = None;
+    // `--arrays` is a geometry list for sweep but an array count for
+    // deploy, so it stays raw until the command is known.
+    let mut arrays_raw: Option<String> = None;
     let mut jobs = 0usize;
     let mut spec: Option<String> = None;
     let mut format = SweepFormat::Text;
+    let mut reprogram = 2_000u64;
     let mut addr = "127.0.0.1:7878".to_string();
 
     let mut i = 1;
@@ -279,27 +308,23 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
                 let v = take_value(args, &mut i, flag)?;
                 networks = Some(v.split(',').map(str::to_string).collect());
             }
-            "--arrays" => {
-                let v = take_value(args, &mut i, flag)?;
-                arrays = Some(
-                    v.split(',')
-                        .map(|spec| {
-                            presets::parse_array(spec).map_err(|e| CliError::new(e.to_string()))
-                        })
-                        .collect::<std::result::Result<Vec<_>, _>>()?,
-                );
-            }
+            "--arrays" => arrays_raw = Some(take_value(args, &mut i, flag)?.to_string()),
             "--jobs" => jobs = parse_usize(take_value(args, &mut i, flag)?, flag)?,
+            "--reprogram" => {
+                reprogram = take_value(args, &mut i, flag)?
+                    .parse()
+                    .map_err(|_| CliError::new("--reprogram expects an integer cycle count"))?
+            }
             "--spec" => spec = Some(take_value(args, &mut i, flag)?.to_string()),
             "--addr" => addr = take_value(args, &mut i, flag)?.to_string(),
             "--format" => {
                 let v = take_value(args, &mut i, flag)?;
                 format = match v.to_ascii_lowercase().as_str() {
-                    "text" => SweepFormat::Text,
+                    "text" | "table" => SweepFormat::Text,
                     "json" => SweepFormat::Json,
                     other => {
                         return Err(CliError::new(format!(
-                            "--format expects text or json, got {other:?}"
+                            "--format expects text, table or json, got {other:?}"
                         )))
                     }
                 };
@@ -384,6 +409,18 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
                     "sweep takes --arrays (plural, comma-separated), not --array",
                 ));
             }
+            let arrays = match &arrays_raw {
+                None => presets::fig8b_sweep()
+                    .iter()
+                    .map(|preset| preset.array)
+                    .collect(),
+                Some(raw) => raw
+                    .split(',')
+                    .map(|geometry| {
+                        presets::parse_array(geometry).map_err(|e| CliError::new(e.to_string()))
+                    })
+                    .collect::<std::result::Result<Vec<_>, _>>()?,
+            };
             Ok(Command::Sweep {
                 // With an explicit spec file and no --networks, sweep
                 // just that network instead of the whole zoo.
@@ -395,16 +432,31 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
                     }
                 }),
                 spec,
-                arrays: arrays.unwrap_or_else(|| {
-                    presets::fig8b_sweep()
-                        .iter()
-                        .map(|preset| preset.array)
-                        .collect()
-                }),
+                arrays,
                 jobs,
                 format,
             })
         }
+        "deploy" => Ok(Command::Deploy {
+            network: match (network, spec) {
+                (Some(_), Some(_)) => {
+                    return Err(CliError::new(
+                        "deploy takes either --network or --spec, not both",
+                    ))
+                }
+                (Some(name), None) => NetworkSource::Zoo(name),
+                (None, Some(path)) => NetworkSource::SpecFile(path),
+                (None, None) => return Err(CliError::new("deploy requires --network or --spec")),
+            },
+            array,
+            arrays: match &arrays_raw {
+                // The PipeLayer-like budget, matching POST /v1/deploy.
+                None => 128,
+                Some(raw) => parse_usize(raw, "--arrays")?,
+            },
+            reprogram,
+            format,
+        }),
         "serve" => Ok(Command::Serve { addr, jobs }),
         other => Err(CliError::new(format!(
             "unknown command {other:?}; try `vwsdk --help`"
@@ -598,6 +650,76 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                 "{}\nplanning cache: {}\n",
                 table.render(),
                 engine.stats()
+            ))
+        }
+        Command::Deploy {
+            network,
+            array,
+            arrays,
+            reprogram,
+            format,
+        } => {
+            let net = match network {
+                NetworkSource::Zoo(name) => lookup_network(name)?,
+                NetworkSource::SpecFile(path) => load_spec_network(path)?,
+            };
+            let chip = pim_chip::ChipConfig::new(*arrays, *array, *reprogram)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            let deployment = shared_engine()
+                .deploy_network_with(&net, &chip, &MappingAlgorithm::paper_trio())
+                .map_err(|e| CliError::new(e.to_string()))?;
+            let report = pim_chip::report::DeploymentReport::with_defaults(net.name(), &deployment);
+            if *format == SweepFormat::Json {
+                // api::deployment_json is the same function POST
+                // /v1/deploy answers with, byte for byte.
+                return Ok(api::deployment_json(&report).render());
+            }
+            let mut table = TextTable::new(&[
+                "layer",
+                "algorithm",
+                "plan",
+                "tiles",
+                "arrays",
+                "resident",
+                "stage cycles",
+            ]);
+            for c in [3, 4, 6] {
+                table.align(c, Align::Right);
+            }
+            for stage in report.stages() {
+                table.add_row(&[
+                    stage.layer.clone(),
+                    stage.algorithm.label().to_string(),
+                    stage.descriptor.clone(),
+                    stage.tiles.to_string(),
+                    stage.arrays.to_string(),
+                    if stage.resident { "yes" } else { "no" }.to_string(),
+                    stage.stage_cycles.to_string(),
+                ]);
+            }
+            let bottleneck_stage = report
+                .bottleneck_stage()
+                .and_then(|i| report.stages().get(i))
+                .map_or_else(|| "-".to_string(), |s| s.layer.clone());
+            Ok(format!(
+                "{} on {} arrays of {} ({} reload cycles)\n\n{}\n\
+                 arrays used: {} / {}   tiles: {}   fully resident: {}\n\
+                 bottleneck: {} cycles ({})   latency: {} cycles\n\
+                 throughput: {} images/s   energy: {} pJ/image\n",
+                net.name(),
+                chip.n_arrays(),
+                chip.array(),
+                chip.reprogram_cycles(),
+                table.render(),
+                report.arrays_used(),
+                chip.n_arrays(),
+                report.tiles_demanded(),
+                if report.fully_resident() { "yes" } else { "no" },
+                report.bottleneck_cycles(),
+                bottleneck_stage,
+                report.latency_cycles(),
+                fmt_f64(report.throughput_ips(), 0),
+                fmt_f64(report.energy_per_image_pj(), 0),
             ))
         }
         Command::Serve { addr, jobs } => {
@@ -836,6 +958,91 @@ mod tests {
             Command::Sweep { networks, .. } => assert_eq!(networks, &["tiny".to_string()]),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn deploy_parses_defaults_and_flags() {
+        let cmd = parse(&argv("deploy --network resnet18")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Deploy {
+                network: NetworkSource::Zoo("resnet18".into()),
+                array: PimArray::new(512, 512).unwrap(),
+                arrays: 128,
+                reprogram: 2_000,
+                format: SweepFormat::Text,
+            }
+        );
+        let cmd = parse(&argv(
+            "deploy --spec my.json --arrays 32 --array 256x256 --reprogram 4000 --format json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Deploy {
+                network: NetworkSource::SpecFile("my.json".into()),
+                array: PimArray::new(256, 256).unwrap(),
+                arrays: 32,
+                reprogram: 4_000,
+                format: SweepFormat::Json,
+            }
+        );
+        // `table` is accepted as the text spelling.
+        let cmd = parse(&argv("deploy --network tiny --format table")).unwrap();
+        match cmd {
+            Command::Deploy { format, .. } => assert_eq!(format, SweepFormat::Text),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("deploy")).is_err());
+        assert!(parse(&argv("deploy --network a --spec b.json")).is_err());
+        assert!(parse(&argv("deploy --network tiny --arrays 512x512")).is_err());
+        assert!(parse(&argv("deploy --network tiny --reprogram lots")).is_err());
+    }
+
+    #[test]
+    fn deploy_table_reports_the_mixed_deployment() {
+        let cmd = parse(&argv("deploy --network resnet18 --arrays 32")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("ResNet-18 on 32 arrays of 512x512"), "{out}");
+        assert!(out.contains("bottleneck:"), "{out}");
+        assert!(out.contains("VW-SDK"), "{out}");
+        assert!(out.contains("images/s"), "{out}");
+    }
+
+    #[test]
+    fn deploy_json_is_the_service_payload() {
+        // The CLI's --format json bytes must match what POST /v1/deploy
+        // answers for the same question (the acceptance criterion).
+        let cmd = parse(&argv(
+            "deploy --network resnet18 --arrays 32 --array 512x512 --format json",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        let chip = pim_chip::ChipConfig::new(32, PimArray::new(512, 512).unwrap(), 2_000)
+            .expect("valid chip");
+        let deployment = pim_chip::optimize::deploy_mixed(
+            &zoo::resnet18_table1(),
+            &MappingAlgorithm::paper_trio(),
+            &chip,
+        )
+        .unwrap();
+        let expected = api::deployment_json(&pim_chip::report::DeploymentReport::with_defaults(
+            "ResNet-18",
+            &deployment,
+        ))
+        .render();
+        assert_eq!(out, expected);
+        assert!(JsonValue::parse(&out).is_ok());
+    }
+
+    #[test]
+    fn deploy_rejects_impossible_chips() {
+        let cmd = parse(&argv("deploy --network resnet18 --arrays 3")).unwrap();
+        let err = run(&cmd).unwrap_err();
+        assert!(err.to_string().contains("3 arrays"), "{err}");
+        let cmd = parse(&argv("deploy --network tiny --arrays 0")).unwrap();
+        let err = run(&cmd).unwrap_err();
+        assert!(err.to_string().contains("at least 1 array"), "{err}");
     }
 
     #[test]
