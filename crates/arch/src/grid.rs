@@ -6,7 +6,8 @@
 //! both the *nonzero* used-cell count (cells holding an actual weight) and
 //! the *bounding-rectangle* count (the occupied sub-array including interior
 //! zeros of shifted kernels). The paper's quoted peak of 73.8 % for VGG-13
-//! layer 5 corresponds to the nonzero interpretation — see EXPERIMENTS.md.
+//! layer 5 corresponds to the nonzero interpretation — see
+//! docs/EXPERIMENTS.md (F9).
 
 use crate::PimArray;
 

@@ -15,7 +15,7 @@
 //!   latency win, not an energy win.
 //!
 //! This divergence is a genuine observation of the reproduction and is
-//! discussed in EXPERIMENTS.md.
+//! discussed in docs/EXPERIMENTS.md (A5).
 
 use crate::array512;
 use pim_arch::energy::{EnergyBreakdown, EnergyModel};

@@ -3,7 +3,7 @@
 //!
 //! Both the nonzero-cell and bounding-rectangle interpretations are
 //! reported, as mean (eq. (9) as written) and peak (the paper's "up to
-//! 73.8 %" phrasing); see DESIGN.md §4 and EXPERIMENTS.md for the
+//! 73.8 %" phrasing); see docs/EXPERIMENTS.md (F9) for the
 //! interpretation discussion.
 
 use crate::array512;

@@ -3,8 +3,8 @@
 //!
 //! Each module corresponds to one artifact of the paper's evaluation and
 //! exposes a `report()` function returning the printable result; the
-//! binaries in `src/bin/` are thin wrappers. EXPERIMENTS.md records the
-//! paper-vs-measured comparison for each.
+//! binaries in `src/bin/` are thin wrappers. docs/EXPERIMENTS.md is the
+//! index recording the paper-vs-measured comparison for each.
 //!
 //! | module | paper artifact |
 //! |---|---|

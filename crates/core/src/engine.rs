@@ -388,6 +388,67 @@ impl PlanningEngine {
             .map_err(|e| VwSdkError::new(e.to_string()))
     }
 
+    /// Simulates a network end to end on the functional crossbar
+    /// simulator with the default configuration (VW-SDK plans for every
+    /// layer, quantized inter-stage mode), planning through the shared
+    /// cache; see [`PlanningEngine::simulate_network_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VwSdkError`] if the network does not chain spatially
+    /// or a stage fails to simulate.
+    pub fn simulate_network(
+        &self,
+        network: &Network,
+        array: PimArray,
+        seed: u64,
+    ) -> Result<pim_sim::SimulationReport> {
+        self.simulate_network_with(
+            network,
+            array,
+            MappingAlgorithm::VwSdk,
+            seed,
+            pim_sim::ExecMode::Quantized,
+        )
+    }
+
+    /// Simulates a network end to end: every layer is planned with
+    /// `algorithm` on `array` *through the engine's shape-keyed cache*
+    /// (repeated shapes and repeated simulations plan once), the
+    /// resulting plans are executed stage by stage on the functional
+    /// simulator with deterministic seed-derived tensors, and the
+    /// output is verified bit-exact against the `pim-tensor` reference
+    /// forward pass — the report also carries per-stage executed vs.
+    /// predicted cycles, MACs, ADC/DAC conversions and energy.
+    ///
+    /// This is the correctness backstop under the planning products:
+    /// the `vwsdk simulate` subcommand and `POST /v1/simulate` both
+    /// answer with exactly this report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VwSdkError`] if the network is empty or does not chain
+    /// spatially ([`Network::check_chain`]), or a stage fails to
+    /// simulate.
+    pub fn simulate_network_with(
+        &self,
+        network: &Network,
+        array: PimArray,
+        algorithm: MappingAlgorithm,
+        seed: u64,
+        mode: pim_sim::ExecMode,
+    ) -> Result<pim_sim::SimulationReport> {
+        network.check_chain()?;
+        let tasks: Vec<&ConvLayer> = network.layers().iter().collect();
+        let planned = self.parallel_map(&tasks, |&layer| self.plan(layer, array, algorithm));
+        let mut plans = Vec::with_capacity(network.len());
+        for plan in planned {
+            plans.push(plan?);
+        }
+        pim_sim::simulate_network(network, &plans, seed, mode)
+            .map_err(|e| VwSdkError::new(e.to_string()))
+    }
+
     /// Cached Algorithm 1 search (see [`SearchCache`]). The result is
     /// shared, not cloned — traces can be large.
     pub fn search(
@@ -702,6 +763,66 @@ mod tests {
             .deploy_network_with(&zoo::resnet18_table1(), &chip, &[])
             .unwrap_err();
         assert!(err.to_string().contains("candidate plan"), "{err}");
+    }
+
+    #[test]
+    fn simulate_network_is_bit_exact_and_feeds_the_cache() {
+        let engine = PlanningEngine::new();
+        let report = engine
+            .simulate_network(&zoo::tiny(), arr(64, 64), 42)
+            .unwrap();
+        assert!(report.is_fully_consistent(), "{report:?}");
+        assert_eq!(report.stages.len(), 2);
+        // A second simulation re-plans nothing.
+        let misses = engine.stats().plan_misses;
+        let again = engine
+            .simulate_network(&zoo::tiny(), arr(64, 64), 42)
+            .unwrap();
+        assert_eq!(report, again);
+        assert_eq!(engine.stats().plan_misses, misses);
+        assert!(engine.stats().plan_hits > 0);
+    }
+
+    #[test]
+    fn simulate_network_with_honours_algorithm_seed_and_mode() {
+        use pim_sim::ExecMode;
+        let engine = PlanningEngine::new();
+        let exact = engine
+            .simulate_network_with(
+                &zoo::tiny(),
+                arr(64, 64),
+                MappingAlgorithm::Im2col,
+                7,
+                ExecMode::Exact,
+            )
+            .unwrap();
+        assert!(exact.is_fully_consistent(), "{exact:?}");
+        assert_eq!(exact.mode, ExecMode::Exact);
+        assert_eq!(exact.seed, 7);
+        assert!(exact
+            .stages
+            .iter()
+            .all(|s| s.algorithm == MappingAlgorithm::Im2col));
+        // Different seeds generate different tensors but stay exact.
+        let other = engine
+            .simulate_network_with(
+                &zoo::tiny(),
+                arr(64, 64),
+                MappingAlgorithm::Im2col,
+                8,
+                ExecMode::Exact,
+            )
+            .unwrap();
+        assert!(other.is_fully_consistent());
+    }
+
+    #[test]
+    fn simulate_rejects_unchained_networks() {
+        let engine = PlanningEngine::new();
+        let err = engine
+            .simulate_network(&zoo::vgg13(), arr(512, 512), 1)
+            .unwrap_err();
+        assert!(err.to_string().contains("conv1"), "{err}");
     }
 
     #[test]

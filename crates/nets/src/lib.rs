@@ -6,7 +6,9 @@
 //!
 //! * [`ConvLayer`] — a validated shape descriptor with stride/padding/groups
 //!   generalizations (the paper itself assumes unit stride and no padding);
-//! * [`Network`] — an ordered, named collection of layers;
+//! * [`Network`] — an ordered, named collection of layers, optionally
+//!   annotated with the digital [`InterOp`]s (ReLU, pooling) between
+//!   them so executable networks chain spatially;
 //! * [`zoo`] — the networks evaluated by the paper (VGG-13 and ResNet-18
 //!   exactly as listed in Table I) plus additional nets for extension
 //!   studies (VGG-16, AlexNet, LeNet-5, a MobileNet-style depthwise stack);
@@ -31,11 +33,13 @@
 
 mod layer;
 mod network;
+pub mod op;
 pub mod spec;
 pub mod zoo;
 
 pub use layer::{ConvLayer, ConvLayerBuilder, LayerShape};
 pub use network::Network;
+pub use op::InterOp;
 pub use spec::{LayerSpec, NetworkSpec};
 
 use std::error::Error;

@@ -17,7 +17,8 @@
 //!   "layers": [
 //!     {"name": "c1", "input": [28, 28], "kernel": [3, 3],
 //!      "in_channels": 1, "out_channels": 8,
-//!      "stride": 1, "padding": 0, "dilation": 1, "groups": 1}
+//!      "stride": 1, "padding": 0, "dilation": 1, "groups": 1,
+//!      "post": ["relu", {"op": "max_pool", "kernel": 2, "stride": 2}]}
 //!   ]
 //! }
 //! ```
@@ -25,7 +26,11 @@
 //! `input` and `kernel` accept either `[height, width]` or a single
 //! integer for the square case; `stride`, `padding`, `dilation`,
 //! `groups` and `name` are optional (defaults 1, 0, 1, 1 and
-//! `conv<index>`). Serialization always writes the full canonical form,
+//! `conv<index>`). `post` is the optional list of digital operators
+//! ([`InterOp`]: `"identity"`, `"relu"`, `{"op": "max_pool"|"avg_pool",
+//! "kernel", "stride"}`) applied after the convolution — the field that
+//! lets a spec describe an *executable*, spatially-chained network.
+//! Serialization always writes the full canonical form,
 //! so `parse ∘ serialize` is the identity on specs (a property test in
 //! `tests/spec_roundtrip.rs` proves it).
 //!
@@ -44,6 +49,7 @@
 //! # Ok::<(), pim_nets::NetError>(())
 //! ```
 
+use crate::op::InterOp;
 use crate::{ConvLayer, NetError, Network, Result};
 use pim_report::json::JsonValue;
 
@@ -74,10 +80,14 @@ pub struct LayerSpec {
     pub dilation: usize,
     /// Channel groups (1 = dense convolution).
     pub groups: usize,
+    /// Digital operators applied after this layer's convolution
+    /// (activation, pooling); empty = identity.
+    pub post: Vec<InterOp>,
 }
 
 impl LayerSpec {
-    /// The spec of an existing layer.
+    /// The spec of an existing layer (no post-operators; see
+    /// [`NetworkSpec::from_network`] for the stage-aware path).
     pub fn from_layer(layer: &ConvLayer) -> Self {
         Self {
             name: layer.name().to_string(),
@@ -91,6 +101,7 @@ impl LayerSpec {
             padding: layer.padding(),
             dilation: layer.dilation(),
             groups: layer.groups(),
+            post: Vec::new(),
         }
     }
 
@@ -131,6 +142,10 @@ impl LayerSpec {
             ("padding", self.padding.into()),
             ("dilation", self.dilation.into()),
             ("groups", self.groups.into()),
+            (
+                "post",
+                JsonValue::array(self.post.iter().map(InterOp::to_json)),
+            ),
         ])
     }
 
@@ -141,7 +156,7 @@ impl LayerSpec {
         let members = value
             .as_object()
             .ok_or_else(|| NetError::new(format!("{ctx} must be an object")))?;
-        const KNOWN: [&str; 9] = [
+        const KNOWN: [&str; 10] = [
             "name",
             "input",
             "kernel",
@@ -151,6 +166,7 @@ impl LayerSpec {
             "padding",
             "dilation",
             "groups",
+            "post",
         ];
         for (key, _) in members {
             if !KNOWN.contains(&key.as_str()) {
@@ -169,6 +185,19 @@ impl LayerSpec {
         };
         let (input_h, input_w) = dims_field(value, &ctx, "input")?;
         let (kernel_h, kernel_w) = dims_field(value, &ctx, "kernel")?;
+        let post = match value.get("post") {
+            None => Vec::new(),
+            Some(v) => {
+                let items = v.as_array().ok_or_else(|| {
+                    NetError::new(format!("{ctx}.post must be an array of operators"))
+                })?;
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, op)| InterOp::from_json(op, &format!("{ctx}.post[{i}]")))
+                    .collect::<Result<Vec<_>>>()?
+            }
+        };
         Ok(Self {
             name,
             input_h,
@@ -181,6 +210,7 @@ impl LayerSpec {
             padding: usize_field(value, &ctx, "padding", Some(0))?,
             dilation: usize_field(value, &ctx, "dilation", Some(1))?,
             groups: usize_field(value, &ctx, "groups", Some(1))?,
+            post,
         })
     }
 }
@@ -196,11 +226,20 @@ pub struct NetworkSpec {
 }
 
 impl NetworkSpec {
-    /// The spec of an existing network.
+    /// The spec of an existing network, including each stage's
+    /// inter-layer operators.
     pub fn from_network(network: &Network) -> Self {
         Self {
             name: network.name().to_string(),
-            layers: network.layers().iter().map(LayerSpec::from_layer).collect(),
+            layers: network
+                .layers()
+                .iter()
+                .zip(network.ops())
+                .map(|(layer, ops)| LayerSpec {
+                    post: ops.clone(),
+                    ..LayerSpec::from_layer(layer)
+                })
+                .collect(),
         }
     }
 
@@ -210,14 +249,14 @@ impl NetworkSpec {
     ///
     /// Returns [`NetError`] naming the first impossible layer.
     pub fn to_network(&self) -> Result<Network> {
-        let mut layers = Vec::with_capacity(self.layers.len());
+        let mut stages = Vec::with_capacity(self.layers.len());
         for (index, spec) in self.layers.iter().enumerate() {
             let layer = spec
                 .to_layer()
                 .map_err(|e| NetError::new(format!("layers[{index}] ({:?}): {e}", spec.name)))?;
-            layers.push(layer);
+            stages.push((layer, spec.post.clone()));
         }
-        Ok(Network::from_layers(self.name.clone(), layers))
+        Ok(Network::from_stages(self.name.clone(), stages))
     }
 
     /// Deserializes a spec from a parsed JSON value, validating
@@ -376,6 +415,53 @@ mod tests {
             assert_eq!(reparsed, spec);
             assert_eq!(reparsed.to_network().unwrap(), net);
         }
+    }
+
+    #[test]
+    fn post_operators_parse_and_round_trip() {
+        let spec = NetworkSpec::parse(
+            r#"{"name": "p", "layers": [
+                {"input": 8, "kernel": 3, "in_channels": 2, "out_channels": 4,
+                 "post": ["relu", {"op": "max_pool", "kernel": 3, "stride": 3}]},
+                {"input": 2, "kernel": 1, "in_channels": 4, "out_channels": 4}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.layers[0].post,
+            vec![
+                InterOp::Relu,
+                InterOp::MaxPool {
+                    kernel: 3,
+                    stride: 3
+                }
+            ]
+        );
+        assert!(spec.layers[1].post.is_empty());
+        let net = spec.to_network().unwrap();
+        net.check_chain().unwrap(); // 8 -> 6 -> pool/3 -> 2
+        assert_eq!(NetworkSpec::from_network(&net), spec);
+        assert_eq!(NetworkSpec::parse(&spec.to_json_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn malformed_post_operators_name_the_culprit() {
+        let err = NetworkSpec::parse(
+            r#"{"name": "p", "layers": [
+                {"input": 8, "kernel": 3, "in_channels": 1, "out_channels": 1,
+                 "post": ["swish"]}
+            ]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("post[0]"), "{err}");
+        let err = NetworkSpec::parse(
+            r#"{"name": "p", "layers": [
+                {"input": 8, "kernel": 3, "in_channels": 1, "out_channels": 1,
+                 "post": "relu"}
+            ]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("array of operators"), "{err}");
     }
 
     #[test]

@@ -6,10 +6,21 @@
 //! function documents otherwise, because that is the regime in which the
 //! paper's window arithmetic — and therefore Table I — is defined.
 
-use crate::{ConvLayer, Network};
+use crate::{ConvLayer, InterOp, Network};
 
 fn sq(name: &str, input: usize, kernel: usize, ic: usize, oc: usize) -> ConvLayer {
     ConvLayer::square(name, input, kernel, ic, oc)
+        .expect("zoo layer dimensions are valid by construction")
+}
+
+/// Builds a padded (possibly strided) layer for the executable networks.
+fn padded(name: &str, input: usize, k: usize, ic: usize, oc: usize, pad: usize) -> ConvLayer {
+    ConvLayer::builder(name)
+        .input(input, input)
+        .kernel(k, k)
+        .channels(ic, oc)
+        .padding(pad)
+        .build()
         .expect("zoo layer dimensions are valid by construction")
 }
 
@@ -146,11 +157,23 @@ pub fn alexnet() -> Network {
     )
 }
 
-/// LeNet-5 convolutional layers (paper form).
+/// LeNet-5 convolutional layers (paper form), annotated with the
+/// classic ReLU + 2×2 average-pooling stages so the network chains
+/// spatially (32 → 28 → pool → 14 → 10 → pool → 5) and can be executed
+/// end to end by the functional simulator.
 pub fn lenet5() -> Network {
-    Network::from_layers(
+    Network::from_stages(
         "LeNet-5",
-        vec![sq("conv1", 32, 5, 1, 6), sq("conv2", 14, 5, 6, 16)],
+        vec![
+            (
+                sq("conv1", 32, 5, 1, 6),
+                vec![InterOp::Relu, InterOp::avg_pool(2)],
+            ),
+            (
+                sq("conv2", 14, 5, 6, 16),
+                vec![InterOp::Relu, InterOp::avg_pool(2)],
+            ),
+        ],
     )
 }
 
@@ -195,25 +218,83 @@ pub fn dilated_context() -> Network {
             .build()
             .expect("zoo layer dimensions are valid by construction")
     };
-    Network::from_layers(
+    Network::from_stages(
         "Dilated-context",
         vec![
-            atrous("ctx1", 28, 64, 1),
-            atrous("ctx2", 28, 64, 2),
-            atrous("ctx3", 28, 64, 4),
+            (atrous("ctx1", 28, 64, 1), vec![InterOp::Relu]),
+            (atrous("ctx2", 28, 64, 2), vec![InterOp::Relu]),
+            (atrous("ctx3", 28, 64, 4), vec![InterOp::Relu]),
         ],
     )
 }
 
-/// A two-layer toy network for quick tests and doc examples.
+/// A two-layer toy network for quick tests and doc examples. The layers
+/// chain spatially (8 → 6 == c2's input) with a ReLU between them, so
+/// `tiny` is also the smallest executable network.
 pub fn tiny() -> Network {
-    Network::from_layers("tiny", vec![sq("c1", 8, 3, 2, 4), sq("c2", 6, 3, 4, 8)])
+    Network::from_stages(
+        "tiny",
+        vec![
+            (sq("c1", 8, 3, 2, 4), vec![InterOp::Relu]),
+            (sq("c2", 6, 3, 4, 8), Vec::new()),
+        ],
+    )
+}
+
+/// A scaled-down, same-padded VGG-13 that chains spatially: the full
+/// 10-convolution topology with ReLU after every convolution and 2×2
+/// max pooling after every pair, at 32×32 input and reduced channel
+/// widths.
+///
+/// The paper-form [`vgg13`] cannot be executed end to end — Table I
+/// counts windows without padding, so its spatial sizes genuinely do
+/// not chain (224 → 222 vs. the next row's 224). This variant restores
+/// same-padding and shrinks the tensors so a full bit-exact network
+/// simulation finishes in milliseconds; it is the default workload of
+/// `vwsdk simulate`.
+pub fn vgg13_sim() -> Network {
+    let relu = || vec![InterOp::Relu];
+    let relu_pool = || vec![InterOp::Relu, InterOp::max_pool(2)];
+    Network::from_stages(
+        "VGG-13-sim",
+        vec![
+            (padded("conv1", 32, 3, 3, 8, 1), relu()),
+            (padded("conv2", 32, 3, 8, 8, 1), relu_pool()),
+            (padded("conv3", 16, 3, 8, 16, 1), relu()),
+            (padded("conv4", 16, 3, 16, 16, 1), relu_pool()),
+            (padded("conv5", 8, 3, 16, 24, 1), relu()),
+            (padded("conv6", 8, 3, 24, 24, 1), relu_pool()),
+            (padded("conv7", 4, 3, 24, 32, 1), relu()),
+            (padded("conv8", 4, 3, 32, 32, 1), relu_pool()),
+            (padded("conv9", 2, 3, 32, 32, 1), relu()),
+            (padded("conv10", 2, 3, 32, 32, 1), relu()),
+        ],
+    )
+}
+
+/// A scaled-down, same-padded ResNet-18 analogue of
+/// [`resnet18_table1`]'s five distinct stages (7×7 stem + one 3×3
+/// representative per stage), chained with ReLU + 2×2 max pooling so it
+/// executes end to end.
+pub fn resnet18_sim() -> Network {
+    let relu_pool = || vec![InterOp::Relu, InterOp::max_pool(2)];
+    Network::from_stages(
+        "ResNet-18-sim",
+        vec![
+            (padded("conv1", 32, 7, 3, 8, 3), relu_pool()),
+            (padded("conv2", 16, 3, 8, 8, 1), relu_pool()),
+            (padded("conv3", 8, 3, 8, 16, 1), relu_pool()),
+            (padded("conv4", 4, 3, 16, 32, 1), relu_pool()),
+            (padded("conv5", 2, 3, 32, 32, 1), vec![InterOp::Relu]),
+        ],
+    )
 }
 
 /// Looks up a zoo network by (case-insensitive) name.
 ///
 /// Recognized names: `vgg13`, `vgg16`, `resnet18` (Table I form),
-/// `resnet18-full`, `alexnet`, `lenet5`, `mobilenet`, `tiny`.
+/// `resnet18-full`, `alexnet`, `lenet5`, `mobilenet`, `dilated`,
+/// `tiny`, and the executable `vgg13-sim` / `resnet18-sim`.
 pub fn by_name(name: &str) -> Option<Network> {
     match name.to_ascii_lowercase().as_str() {
         "vgg13" | "vgg-13" => Some(vgg13()),
@@ -225,6 +306,8 @@ pub fn by_name(name: &str) -> Option<Network> {
         "mobilenet" | "mobilenet-like" => Some(mobilenet_like()),
         "dilated" | "dilated-context" => Some(dilated_context()),
         "tiny" => Some(tiny()),
+        "vgg13-sim" | "vgg-13-sim" => Some(vgg13_sim()),
+        "resnet18-sim" | "resnet-18-sim" => Some(resnet18_sim()),
         _ => None,
     }
 }
@@ -241,7 +324,19 @@ pub fn all() -> Vec<Network> {
         mobilenet_like(),
         dilated_context(),
         tiny(),
+        vgg13_sim(),
+        resnet18_sim(),
     ]
+}
+
+/// The executable subset of the zoo: networks whose stages chain
+/// spatially ([`Network::check_chain`] passes), i.e. every network a
+/// whole-network simulation can stream one input through.
+pub fn executable() -> Vec<Network> {
+    all()
+        .into_iter()
+        .filter(|net| net.check_chain().is_ok())
+        .collect()
 }
 
 #[cfg(test)]
@@ -343,6 +438,39 @@ mod tests {
         }
         assert_eq!(net.layers()[2].dilation(), 4);
         assert_eq!(net.layers()[2].effective_kernel_w(), 9);
+    }
+
+    #[test]
+    fn executable_networks_chain_spatially() {
+        let executable = executable();
+        let names: Vec<&str> = executable.iter().map(Network::name).collect();
+        for expected in [
+            "LeNet-5",
+            "Dilated-context",
+            "tiny",
+            "VGG-13-sim",
+            "ResNet-18-sim",
+        ] {
+            assert!(names.contains(&expected), "{names:?} misses {expected}");
+        }
+        for net in &executable {
+            net.check_chain().expect("executable zoo networks chain");
+        }
+        // Paper-form Table I lists do not chain spatially by design.
+        assert!(vgg13().check_chain().is_err());
+        assert!(resnet18_table1().check_chain().is_err());
+    }
+
+    #[test]
+    fn sim_networks_mirror_their_full_size_topologies() {
+        let vgg = vgg13_sim();
+        assert_eq!(vgg.len(), 10);
+        assert!(vgg.layers().iter().all(|l| l.kernel_w() == 3));
+        // Four pooling stages take 32x32 down to 2x2.
+        assert_eq!(vgg.layers()[9].output_dims(), (2, 2));
+        let resnet = resnet18_sim();
+        assert_eq!(resnet.len(), 5);
+        assert_eq!(resnet.layers()[0].kernel_w(), 7);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! to `vwsdk serve` deserializes to exactly the network the client
 //! described, including hostile layer names that need escaping.
 
-use pim_nets::{spec::LayerSpec, NetworkSpec};
+use pim_nets::{spec::LayerSpec, InterOp, NetworkSpec};
 use pim_report::json::JsonValue;
 use proptest::prelude::*;
 
@@ -28,6 +28,20 @@ fn name_strategy() -> impl Strategy<Value = String> {
     (0usize..NAMES.len()).prop_map(|i| NAMES[i].to_string())
 }
 
+/// Post-operator sequences covering every [`InterOp`] variant.
+fn post_strategy() -> impl Strategy<Value = Vec<InterOp>> {
+    (0usize..5).prop_map(|i| match i {
+        0 => Vec::new(),
+        1 => vec![InterOp::Relu],
+        2 => vec![InterOp::Identity, InterOp::Relu],
+        3 => vec![InterOp::Relu, InterOp::max_pool(2)],
+        _ => vec![InterOp::AvgPool {
+            kernel: 3,
+            stride: 2,
+        }],
+    })
+}
+
 /// Geometrically valid layer specs: the dilated kernel always fits the
 /// padded input, and groups divide both channel counts.
 fn layer_strategy() -> impl Strategy<Value = LayerSpec> {
@@ -38,9 +52,18 @@ fn layer_strategy() -> impl Strategy<Value = LayerSpec> {
         (1usize..5, 1usize..9),   // channel-group multipliers
         (1usize..4, 0usize..3),   // stride, padding
         (1usize..3, 1usize..4),   // dilation, groups
+        post_strategy(),
     )
         .prop_map(
-            |(name, (kh, kw), (dh, dw), (icm, ocm), (stride, padding), (dilation, groups))| {
+            |(
+                name,
+                (kh, kw),
+                (dh, dw),
+                (icm, ocm),
+                (stride, padding),
+                (dilation, groups),
+                post,
+            )| {
                 let eff_h = (kh - 1) * dilation + 1;
                 let eff_w = (kw - 1) * dilation + 1;
                 LayerSpec {
@@ -55,6 +78,7 @@ fn layer_strategy() -> impl Strategy<Value = LayerSpec> {
                     padding,
                     dilation,
                     groups,
+                    post,
                 }
             },
         )

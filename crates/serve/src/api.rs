@@ -224,6 +224,47 @@ pub fn deployment_json(report: &pim_chip::report::DeploymentReport) -> JsonValue
     ])
 }
 
+/// One executed simulation stage as JSON.
+fn stage_execution_json(stage: &pim_sim::StageExecution) -> JsonValue {
+    JsonValue::object([
+        ("layer", JsonValue::from(stage.layer.as_str())),
+        ("algorithm", JsonValue::from(stage.algorithm.label())),
+        ("descriptor", JsonValue::from(stage.descriptor.as_str())),
+        ("predicted_cycles", stage.predicted_cycles.into()),
+        ("executed_cycles", stage.executed_cycles.into()),
+        ("macs", stage.macs.into()),
+        ("adc_conversions", stage.adc_conversions.into()),
+        ("dac_conversions", stage.dac_conversions.into()),
+        ("array_programmings", stage.array_programmings.into()),
+        ("energy_pj", rounded2(stage.energy_pj)),
+    ])
+}
+
+/// A network-scale simulation report as JSON — the payload
+/// `POST /v1/simulate` answers with, and exactly what
+/// `vwsdk simulate --format json` prints (the acceptance tests assert
+/// the two are byte-identical).
+pub fn simulation_json(report: &pim_sim::SimulationReport) -> JsonValue {
+    JsonValue::object([
+        ("network", JsonValue::from(report.network.as_str())),
+        ("array", JsonValue::from(report.array.as_str())),
+        ("seed", report.seed.into()),
+        ("mode", JsonValue::from(report.mode.label())),
+        (
+            "stages",
+            JsonValue::array(report.stages.iter().map(stage_execution_json)),
+        ),
+        ("elements", report.elements.into()),
+        ("mismatches", report.mismatches.into()),
+        ("bit_exact", report.matches().into()),
+        ("cycles_match", report.cycles_match().into()),
+        ("executed_cycles", report.executed_cycles().into()),
+        ("predicted_cycles", report.predicted_cycles().into()),
+        ("macs", report.total_macs().into()),
+        ("energy_pj", rounded2(report.total_energy_pj())),
+    ])
+}
+
 /// Cache counters as JSON (the service's cache-hit stats).
 pub fn stats_json(stats: &EngineStats) -> JsonValue {
     JsonValue::object([

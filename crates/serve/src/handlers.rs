@@ -39,6 +39,15 @@ const MAX_CHIP_ARRAYS: usize = 65_536;
 const DEFAULT_CHIP_ARRAYS: usize = 128;
 /// Deploy default when the request names no `"reprogram"` cost.
 const DEFAULT_REPROGRAM_CYCLES: u64 = 2_000;
+/// Simulate default when the request names no `"seed"` (matches the
+/// CLI's default, so default CLI and default wire requests agree).
+const DEFAULT_SIM_SEED: u64 = 2_024;
+/// Largest network (in total MACs) a simulate request may name. Unlike
+/// planning, functional simulation really executes every MAC in
+/// software, so cost is linear in this number; 2²⁸ (~268 M) covers the
+/// executable zoo with two orders of magnitude to spare while bounding
+/// a hostile request to seconds, not hours.
+const MAX_SIM_MACS: u64 = 1 << 28;
 
 fn bad_request(message: impl Into<String>) -> HandlerError {
     (400, message.into())
@@ -351,6 +360,71 @@ pub fn deploy(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerErro
         network.name(),
         &deployment,
     )))
+}
+
+/// `POST /v1/simulate` — body: `{"network": NAME | "spec": {...},
+/// "array"?: "RxC" | {"rows","cols"}, "algorithm"?: LABEL,
+/// "seed"?: N, "mode"?: "exact" | "quantized"}`. Defaults: VW-SDK
+/// plans on the paper's 512×512 array, seed 2024, quantized mode.
+///
+/// Plans every layer through the shared engine cache, executes the
+/// plans end to end on the functional simulator with deterministic
+/// seed-derived tensors, and answers the per-stage executed-vs-
+/// predicted report including the bit-exactness verdict against the
+/// reference forward pass.
+///
+/// The response is [`api::simulation_json`] exactly — no appended cache
+/// member — so `vwsdk simulate --format json` and this endpoint answer
+/// identical JSON for the same question.
+pub fn simulate(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError> {
+    let body = parse_body(body)?;
+    check_known_fields(
+        &body,
+        &["network", "spec", "array", "algorithm", "seed", "mode"],
+    )?;
+    let network = network_field(&body)?;
+    let array = array_field(&body)?;
+    let algorithm = match body.get("algorithm") {
+        None => MappingAlgorithm::VwSdk,
+        Some(value) => {
+            let label = value
+                .as_str()
+                .ok_or_else(|| bad_request("\"algorithm\" must be a string label"))?;
+            api::algorithm_by_label(label).map_err(unprocessable)?
+        }
+    };
+    let seed = match body.get("seed") {
+        None => DEFAULT_SIM_SEED,
+        Some(value) => value
+            .as_u64()
+            .ok_or_else(|| bad_request("\"seed\" must be a non-negative integer"))?,
+    };
+    let mode = match body.get("mode") {
+        None => pim_sim::ExecMode::Quantized,
+        Some(value) => {
+            let label = value
+                .as_str()
+                .ok_or_else(|| bad_request("\"mode\" must be a string"))?;
+            pim_sim::ExecMode::by_label(label).ok_or_else(|| {
+                unprocessable(format!(
+                    "unknown mode {label:?}; expected \"exact\" or \"quantized\""
+                ))
+            })?
+        }
+    };
+    if network.total_macs() > MAX_SIM_MACS {
+        return Err(unprocessable(format!(
+            "network {:?} needs {} MACs per inference, over the simulation limit of {MAX_SIM_MACS}",
+            network.name(),
+            network.total_macs()
+        )));
+    }
+    let report = state
+        .engine()
+        .simulate_network_with(&network, array, algorithm, seed, mode)
+        .map_err(|e| unprocessable(e.to_string()))?;
+    state.trim_caches();
+    Ok(api::simulation_json(&report))
 }
 
 #[cfg(test)]
@@ -666,6 +740,104 @@ mod tests {
             deploy(&s, br#"{"network": "nonexistent"}"#).unwrap_err().0,
             422
         );
+    }
+
+    #[test]
+    fn simulate_answers_the_engine_report() {
+        let s = state();
+        let response =
+            simulate(&s, br#"{"network": "tiny", "array": "64x64", "seed": 42}"#).unwrap();
+        assert_eq!(
+            response.get("bit_exact").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            response.get("cycles_match").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        assert_eq!(response.get("seed").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(
+            response.get("mode").and_then(JsonValue::as_str),
+            Some("quantized")
+        );
+        // Byte-identical to the in-process engine path rendered through
+        // the same JSON view.
+        let expected = s
+            .engine()
+            .simulate_network_with(
+                &zoo::tiny(),
+                PimArray::new(64, 64).unwrap(),
+                MappingAlgorithm::VwSdk,
+                42,
+                pim_sim::ExecMode::Quantized,
+            )
+            .unwrap();
+        assert_eq!(response.render(), api::simulation_json(&expected).render());
+    }
+
+    #[test]
+    fn simulate_honours_algorithm_and_mode() {
+        let s = state();
+        let response = simulate(
+            &s,
+            br#"{"network": "lenet5", "array": "96x64",
+                 "algorithm": "im2col", "mode": "exact"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            response.get("mode").and_then(JsonValue::as_str),
+            Some("exact")
+        );
+        let stages = response
+            .get("stages")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(stages.len(), 2);
+        assert!(stages
+            .iter()
+            .all(|s| s.get("algorithm").and_then(JsonValue::as_str) == Some("im2col")));
+        assert_eq!(
+            response.get("bit_exact").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn simulate_rejects_malformed_and_impossible_requests() {
+        let s = state();
+        assert_eq!(simulate(&s, b"not json").unwrap_err().0, 400);
+        assert_eq!(
+            simulate(&s, br#"{"network": "tiny", "seed": "lots"}"#)
+                .unwrap_err()
+                .0,
+            400
+        );
+        assert_eq!(
+            simulate(&s, br#"{"network": "tiny", "bogus": 1}"#)
+                .unwrap_err()
+                .0,
+            400
+        );
+        let (status, message) =
+            simulate(&s, br#"{"network": "tiny", "mode": "fuzzy"}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("fuzzy"), "{message}");
+        assert_eq!(
+            simulate(&s, br#"{"network": "tiny", "algorithm": "warp"}"#)
+                .unwrap_err()
+                .0,
+            422
+        );
+        // MobileNet-like fits the MAC bound but does not chain
+        // spatially (its paper-form stages skip the pooling).
+        let (status, message) = simulate(&s, br#"{"network": "mobilenet"}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("pw1"), "{message}");
+        // Full-scale simulation requests are shed by the MAC bound
+        // before any planning or execution starts.
+        let (status, message) = simulate(&s, br#"{"network": "vgg13"}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("simulation limit"), "{message}");
     }
 
     #[test]

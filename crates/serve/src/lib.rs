@@ -19,6 +19,7 @@
 //! | `POST /v1/plan` | `{"network"\|"spec", "array"?, "algorithms"?}` | per-layer windows, cycles, speedups, cache stats |
 //! | `POST /v1/sweep` | `{"networks"?, "specs"?, "arrays"?, "algorithms"?}` | summary per (network, array) pair |
 //! | `POST /v1/deploy` | `{"network"\|"spec", "array"?, "arrays"?, "reprogram"?, "algorithms"?}` | bottleneck-optimal chip deployment: per-layer algorithm/array split, pipeline timing, energy |
+//! | `POST /v1/simulate` | `{"network"\|"spec", "array"?, "algorithm"?, "seed"?, "mode"?}` | end-to-end functional simulation: per-stage executed vs. predicted cycles, MACs, conversions, bit-exactness verdict |
 //!
 //! Malformed JSON answers `400`, impossible requests (unknown network,
 //! invalid spec geometry) answer `422` — always as structured JSON
@@ -271,6 +272,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                         Route::Plan => handlers::plan(state, &request.body),
                         Route::Sweep => handlers::sweep(state, &request.body),
                         Route::Deploy => handlers::deploy(state, &request.body),
+                        Route::Simulate => handlers::simulate(state, &request.body),
                     }));
                 match result {
                     Ok(Ok(value)) => (200, value),

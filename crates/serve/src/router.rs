@@ -19,6 +19,10 @@ pub enum Route {
     /// `POST /v1/deploy` — chip-scale deployment with the
     /// mixed-algorithm budget optimizer.
     Deploy,
+    /// `POST /v1/simulate` — end-to-end functional simulation of a
+    /// network's mapping plans, verified bit-exact against the
+    /// reference forward pass.
+    Simulate,
 }
 
 impl Route {
@@ -26,7 +30,7 @@ impl Route {
     pub fn method(&self) -> &'static str {
         match self {
             Route::Healthz | Route::Networks => "GET",
-            Route::Plan | Route::Sweep | Route::Deploy => "POST",
+            Route::Plan | Route::Sweep | Route::Deploy | Route::Simulate => "POST",
         }
     }
 
@@ -38,17 +42,19 @@ impl Route {
             Route::Plan => "/v1/plan",
             Route::Sweep => "/v1/sweep",
             Route::Deploy => "/v1/deploy",
+            Route::Simulate => "/v1/simulate",
         }
     }
 
     /// Every route, for documentation-style error messages.
-    pub fn all() -> [Route; 5] {
+    pub fn all() -> [Route; 6] {
         [
             Route::Healthz,
             Route::Networks,
             Route::Plan,
             Route::Sweep,
             Route::Deploy,
+            Route::Simulate,
         ]
     }
 }
@@ -91,6 +97,7 @@ mod tests {
         assert_eq!(resolve("POST", "/v1/plan").unwrap(), Route::Plan);
         assert_eq!(resolve("POST", "/v1/sweep").unwrap(), Route::Sweep);
         assert_eq!(resolve("POST", "/v1/deploy").unwrap(), Route::Deploy);
+        assert_eq!(resolve("POST", "/v1/simulate").unwrap(), Route::Simulate);
     }
 
     #[test]

@@ -205,6 +205,51 @@ fn deploy_answers_the_optimizer_and_rejects_malformed_specs() {
 }
 
 #[test]
+fn simulate_round_trips_the_shared_simulation_schema() {
+    let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    // Happy path: byte-identical to the in-process engine rendered
+    // through the same JSON view (which is also what the CLI's
+    // `vwsdk simulate --format json` prints).
+    let (status, payload) = request(
+        addr,
+        "POST",
+        "/v1/simulate",
+        r#"{"network": "lenet5", "array": "96x64", "seed": 7, "mode": "quantized"}"#,
+    );
+    assert_eq!(status, 200, "{payload}");
+    let engine = vw_sdk::PlanningEngine::new();
+    let expected = engine
+        .simulate_network_with(
+            &zoo::lenet5(),
+            PimArray::new(96, 64).expect("positive"),
+            pim_mapping::MappingAlgorithm::VwSdk,
+            7,
+            pim_sim::ExecMode::Quantized,
+        )
+        .expect("executable network");
+    assert_eq!(payload, api::simulation_json(&expected).render());
+    let body = JsonValue::parse(&payload).expect("simulate body is JSON");
+    assert_eq!(
+        body.get("bit_exact").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        body.get("cycles_match").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+
+    // Unchained networks answer a structured 422.
+    let (status, payload) = request(addr, "POST", "/v1/simulate", r#"{"network": "mobilenet"}"#);
+    assert_eq!(status, 422, "{payload}");
+    assert!(payload.contains("\"error\""), "{payload}");
+
+    handle.shutdown();
+}
+
+#[test]
 fn the_five_endpoints_answer() {
     let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
     let addr = server.local_addr().expect("bound");
@@ -245,6 +290,15 @@ fn the_five_endpoints_answer() {
     );
     assert_eq!(status, 200, "{payload}");
     assert!(payload.contains("\"bottleneck\""), "{payload}");
+
+    let (status, payload) = request(
+        addr,
+        "POST",
+        "/v1/simulate",
+        r#"{"network": "tiny", "array": "64x64"}"#,
+    );
+    assert_eq!(status, 200, "{payload}");
+    assert!(payload.contains("\"bit_exact\":true"), "{payload}");
 
     handle.shutdown();
 }

@@ -14,9 +14,16 @@
 //!
 //! Along the way the engine counts cycles, MAC operations and ADC/DAC
 //! conversions, and integrates the `pim-arch` energy model, which is how
-//! the energy experiment (EXPERIMENTS.md, A5) is produced. A
+//! the energy experiment (docs/EXPERIMENTS.md, A5) is produced. A
 //! [`quant::QuantSpec`] models finite weight/input/ADC precision for the
 //! device-realism extension.
+//!
+//! Beyond single layers, the [`network`] module executes *whole
+//! networks*: [`NetworkExecutor`] streams one input feature map through
+//! every stage of a deployed network (convolution on the crossbars,
+//! ReLU/pooling in the digital periphery) and [`simulate_network`]
+//! proves the result bit-exact against the `pim-tensor` reference
+//! forward pass while cross-checking executed against predicted cycles.
 //!
 //! # Example
 //!
@@ -45,12 +52,18 @@
 mod crossbar;
 mod engine;
 pub mod metrics;
+pub mod network;
 pub mod quant;
 pub mod verify;
 
 pub use crossbar::Crossbar;
 pub use engine::{layer_params, Engine, SimRun};
 pub use metrics::RunStats;
+pub use network::{
+    simulate_deployment, simulate_network, NetworkExecutor, NetworkRun, SimulationReport,
+    StageExecution,
+};
+pub use pim_tensor::ExecMode;
 
 use std::error::Error;
 use std::fmt;

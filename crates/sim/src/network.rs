@@ -1,0 +1,549 @@
+//! Network-scale execution: stream one input feature map through every
+//! stage of a deployed network.
+//!
+//! [`verify_plan`](crate::verify::verify_plan) proves one *layer*
+//! correct in isolation. This module proves a whole *deployment*
+//! correct: the [`NetworkExecutor`] takes a [`Network`] together with
+//! its per-layer [`MappingPlan`]s (or a chip [`Deployment`], whose
+//! allocations carry the plans), programs each stage's tiles into
+//! crossbars,
+//! executes the stage on the streamed feature map, applies the stage's
+//! digital [`InterOp`](pim_nets::InterOp)s (ReLU, pooling), and hands
+//! the result to the next stage — exactly the data flow of a pipelined
+//! PIM chip processing one image.
+//!
+//! Two guarantees come out the other end, pinned by
+//! [`simulate_network`]:
+//!
+//! * **Functional** — the final output feature map equals the
+//!   `pim-tensor` reference forward pass bit-for-bit (integer
+//!   arithmetic, both [`ExecMode`]s).
+//! * **Analytical** — every stage's executed computing cycles equal the
+//!   plan's predicted [`MappingPlan::cycles`], which is also the
+//!   `compute_cycles` the chip-level `DeploymentReport` advertises.
+
+use crate::engine::Engine;
+use crate::{Result, SimError};
+use pim_chip::allocate::Deployment;
+use pim_mapping::{MappingAlgorithm, MappingPlan};
+use pim_nets::Network;
+use pim_tensor::forward::{self, ExecMode};
+use pim_tensor::{gen, ops, Scalar, Tensor3, Tensor4};
+
+/// Execution record of one pipeline stage (= one convolutional layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageExecution {
+    /// Layer name, as in the network definition.
+    pub layer: String,
+    /// The algorithm that mapped this stage.
+    pub algorithm: MappingAlgorithm,
+    /// Table I-style plan descriptor, e.g. `4x3x42x256`.
+    pub descriptor: String,
+    /// Cycles the analytical model predicted ([`MappingPlan::cycles`]).
+    pub predicted_cycles: u64,
+    /// Computing cycles (analog MVMs) the engine actually executed.
+    pub executed_cycles: u64,
+    /// Multiply-accumulates performed across programmed cells.
+    pub macs: u64,
+    /// Column reads (one ADC conversion each).
+    pub adc_conversions: u64,
+    /// Row drives (one DAC conversion each).
+    pub dac_conversions: u64,
+    /// Crossbar tile programmings.
+    pub array_programmings: u64,
+    /// Stage energy under the engine's model, in picojoules.
+    pub energy_pj: f64,
+}
+
+impl StageExecution {
+    /// `true` when the executed cycle count equals the prediction.
+    pub fn cycles_match(&self) -> bool {
+        self.executed_cycles == self.predicted_cycles
+    }
+}
+
+/// The result of executing a network: the final output feature map plus
+/// per-stage execution records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkRun<T> {
+    ofm: Tensor3<T>,
+    stages: Vec<StageExecution>,
+}
+
+impl<T> NetworkRun<T> {
+    /// The final output feature map (after the last stage's operators).
+    pub fn ofm(&self) -> &Tensor3<T> {
+        &self.ofm
+    }
+
+    /// Per-stage execution records, in network order.
+    pub fn stages(&self) -> &[StageExecution] {
+        &self.stages
+    }
+
+    /// Total executed computing cycles across all stages.
+    pub fn executed_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.executed_cycles).sum()
+    }
+
+    /// Total predicted cycles across all stages.
+    pub fn predicted_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.predicted_cycles).sum()
+    }
+
+    /// `true` when every stage executed exactly its predicted cycles.
+    pub fn cycles_match(&self) -> bool {
+        self.stages.iter().all(StageExecution::cycles_match)
+    }
+
+    /// Consumes the run, returning the output feature map.
+    pub fn into_ofm(self) -> Tensor3<T> {
+        self.ofm
+    }
+}
+
+/// Executes whole networks on the crossbar engine; see the
+/// [module docs](self).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetworkExecutor {
+    engine: Engine,
+    mode: ExecMode,
+}
+
+impl NetworkExecutor {
+    /// An executor with the default engine and the default (quantized)
+    /// inter-stage mode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the inter-stage value policy.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the crossbar engine (e.g. for a custom energy model).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured inter-stage mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Executes `network` stage by stage: `plans[i]` maps layer `i`,
+    /// `weights[i]` is its weight bank, and the stage's inter-layer
+    /// operators (plus the quantized mode's requantization) run
+    /// digitally between stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the plan list does not match the
+    /// network, the network does not chain spatially, or a stage fails
+    /// to simulate.
+    pub fn execute<T: Scalar>(
+        &self,
+        network: &Network,
+        plans: &[MappingPlan],
+        ifm: &Tensor3<T>,
+        weights: &[Tensor4<T>],
+    ) -> Result<NetworkRun<T>> {
+        if plans.len() != network.len() || weights.len() != network.len() {
+            return Err(SimError::new(format!(
+                "network {:?} has {} layers but {} plans / {} weight banks were given",
+                network.name(),
+                network.len(),
+                plans.len(),
+                weights.len()
+            )));
+        }
+        network
+            .check_chain()
+            .map_err(|e| SimError::new(e.to_string()))?;
+        for (layer, plan) in network.layers().iter().zip(plans) {
+            if !plan.layer().same_shape(layer) {
+                return Err(SimError::new(format!(
+                    "plan for {:?} does not match layer {:?}",
+                    plan.layer().name(),
+                    layer.name()
+                )));
+            }
+        }
+        let mut stages = Vec::with_capacity(network.len());
+        let mut current = ifm.clone();
+        for (i, layer) in network.layers().iter().enumerate() {
+            let run = self.engine.run(&plans[i], &current, &weights[i])?;
+            let stats = run.stats();
+            stages.push(StageExecution {
+                layer: layer.name().to_string(),
+                algorithm: plans[i].algorithm(),
+                descriptor: plans[i].descriptor(),
+                predicted_cycles: plans[i].cycles(),
+                executed_cycles: stats.computing_cycles,
+                macs: stats.macs,
+                adc_conversions: stats.adc_conversions,
+                dac_conversions: stats.dac_conversions,
+                array_programmings: stats.array_programmings,
+                energy_pj: stats.energy_pj(),
+            });
+            let after_ops = forward::apply_ops(network.ops_after(i), run.into_ofm())?;
+            current = if self.mode == ExecMode::Quantized {
+                ops::requant8(&after_ops)
+            } else {
+                after_ops
+            };
+        }
+        Ok(NetworkRun {
+            ofm: current,
+            stages,
+        })
+    }
+
+    /// Executes a chip [`Deployment`]'s plans end to end (the
+    /// allocations carry one plan per layer, in network order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] under the same conditions as
+    /// [`NetworkExecutor::execute`].
+    pub fn execute_deployment<T: Scalar>(
+        &self,
+        network: &Network,
+        deployment: &Deployment,
+        ifm: &Tensor3<T>,
+        weights: &[Tensor4<T>],
+    ) -> Result<NetworkRun<T>> {
+        let plans: Vec<MappingPlan> = deployment
+            .allocations()
+            .iter()
+            .map(|alloc| alloc.plan().clone())
+            .collect();
+        self.execute(network, &plans, ifm, weights)
+    }
+}
+
+/// One network-scale simulation flattened into report numbers — the
+/// payload `vwsdk simulate` prints and `POST /v1/simulate` answers
+/// (through one shared JSON view, so the two cannot drift).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// The simulated network's name.
+    pub network: String,
+    /// Array geometry the plans target, as `RxC` (or `mixed`).
+    pub array: String,
+    /// Seed of the generated input/weight tensors.
+    pub seed: u64,
+    /// Inter-stage execution mode.
+    pub mode: ExecMode,
+    /// Per-stage execution records.
+    pub stages: Vec<StageExecution>,
+    /// Output elements compared against the reference forward pass.
+    pub elements: usize,
+    /// Mismatching elements (0 when bit-exact).
+    pub mismatches: usize,
+}
+
+impl SimulationReport {
+    /// `true` when the executed output equals the reference forward
+    /// pass element for element.
+    pub fn matches(&self) -> bool {
+        self.mismatches == 0
+    }
+
+    /// `true` when every stage executed exactly its predicted cycles.
+    pub fn cycles_match(&self) -> bool {
+        self.stages.iter().all(StageExecution::cycles_match)
+    }
+
+    /// `true` when the output matched *and* every stage's executed
+    /// cycles equal the analytical prediction.
+    pub fn is_fully_consistent(&self) -> bool {
+        self.matches() && self.cycles_match()
+    }
+
+    /// Total executed computing cycles.
+    pub fn executed_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.executed_cycles).sum()
+    }
+
+    /// Total predicted cycles.
+    pub fn predicted_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.predicted_cycles).sum()
+    }
+
+    /// Total multiply-accumulates executed.
+    pub fn total_macs(&self) -> u64 {
+        self.stages.iter().map(|s| s.macs).sum()
+    }
+
+    /// Total energy estimate, in picojoules.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.stages.iter().map(|s| s.energy_pj).sum()
+    }
+}
+
+/// The deterministic per-layer weight seed (layer 0 matches
+/// [`crate::verify::verify_plan`]'s derivation).
+fn weight_seed(seed: u64, index: usize) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index as u64 + 1)
+}
+
+/// Simulates a network end to end on deterministic pseudo-random
+/// tensors and cross-checks it against the reference forward pass.
+///
+/// The scalar domain follows the mode: [`ExecMode::Quantized`] runs in
+/// `i64` (the inter-stage requantization bounds magnitudes at any
+/// depth), [`ExecMode::Exact`] runs in `i128` (headroom for the
+/// executable zoo networks' unbounded exact growth). Both are exact
+/// integer arithmetic, so "matches" means bit-exact.
+///
+/// # Errors
+///
+/// Returns [`SimError`] under the same conditions as
+/// [`NetworkExecutor::execute`], or for an empty network.
+pub fn simulate_network(
+    network: &Network,
+    plans: &[MappingPlan],
+    seed: u64,
+    mode: ExecMode,
+) -> Result<SimulationReport> {
+    match mode {
+        ExecMode::Exact => {
+            check_headroom(network, mode, 120.0)?;
+            simulate_as::<i128>(network, plans, seed, mode)
+        }
+        ExecMode::Quantized => {
+            check_headroom(network, mode, 60.0)?;
+            simulate_as::<i64>(network, plans, seed, mode)
+        }
+    }
+}
+
+/// Simulates a chip [`Deployment`] end to end (see
+/// [`simulate_network`]); the executed per-stage cycles are the ones
+/// the deployment's `DeploymentReport` predicts as `compute_cycles`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] under the same conditions as
+/// [`simulate_network`].
+pub fn simulate_deployment(
+    network: &Network,
+    deployment: &Deployment,
+    seed: u64,
+    mode: ExecMode,
+) -> Result<SimulationReport> {
+    let plans: Vec<MappingPlan> = deployment
+        .allocations()
+        .iter()
+        .map(|alloc| alloc.plan().clone())
+        .collect();
+    simulate_network(network, &plans, seed, mode)
+}
+
+/// Rejects simulations whose worst-case activation magnitudes could
+/// exceed the scalar domain's headroom — in release builds integer
+/// overflow wraps *identically* on the executor and reference sides,
+/// which would report "bit-exact" over garbage values.
+///
+/// The bound is conservative and tracked in log₂ domain: generated
+/// inputs and weights satisfy `|v| ≤ 8` (2³), each convolution
+/// multiplies the bound by `terms · 8` where `terms = (IC/g)·Kh·Kw`,
+/// pooling and ReLU never increase it, and the quantized mode's
+/// requantization resets it to 127 (2⁷) after every stage.
+fn check_headroom(network: &Network, mode: ExecMode, limit_bits: f64) -> Result<()> {
+    let mut log2_bound = 3.0;
+    for layer in network.layers() {
+        let terms = (layer.in_channels_per_group() * layer.kernel_h() * layer.kernel_w()) as f64;
+        log2_bound += terms.log2() + 3.0;
+        if log2_bound > limit_bits {
+            return Err(SimError::new(format!(
+                "worst-case activations at layer {:?} need ~2^{:.0} headroom, over the \
+                 {limit_bits:.0}-bit budget of {mode} mode{}",
+                layer.name(),
+                log2_bound,
+                if mode == ExecMode::Exact {
+                    "; use quantized mode"
+                } else {
+                    ""
+                }
+            )));
+        }
+        if mode == ExecMode::Quantized {
+            log2_bound = 7.0;
+        }
+    }
+    Ok(())
+}
+
+fn simulate_as<T: Scalar>(
+    network: &Network,
+    plans: &[MappingPlan],
+    seed: u64,
+    mode: ExecMode,
+) -> Result<SimulationReport> {
+    let Some(first) = network.layers().first() else {
+        return Err(SimError::new("cannot simulate an empty network"));
+    };
+    let ifm = gen::random3::<T>(first.in_channels(), first.input_h(), first.input_w(), seed);
+    let weights: Vec<Tensor4<T>> = network
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(i, layer)| {
+            gen::random4::<T>(
+                layer.out_channels(),
+                layer.in_channels_per_group(),
+                layer.kernel_h(),
+                layer.kernel_w(),
+                weight_seed(seed, i),
+            )
+        })
+        .collect();
+    let executor = NetworkExecutor::new().with_mode(mode);
+    let run = executor.execute(network, plans, &ifm, &weights)?;
+    let reference = forward::forward(network, &ifm, &weights, mode)?;
+    let mismatches = run
+        .ofm()
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .filter(|(a, b)| a != b)
+        .count();
+    let mut arrays: Vec<String> = plans.iter().map(|p| p.array().to_string()).collect();
+    arrays.dedup();
+    let array = if arrays.len() == 1 {
+        arrays.pop().expect("one distinct array")
+    } else {
+        "mixed".to_string()
+    };
+    Ok(SimulationReport {
+        network: network.name().to_string(),
+        array,
+        seed,
+        mode,
+        stages: run.stages().to_vec(),
+        elements: reference.as_slice().len(),
+        mismatches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::PimArray;
+    use pim_nets::zoo;
+
+    fn plans_for(network: &Network, array: PimArray, alg: MappingAlgorithm) -> Vec<MappingPlan> {
+        network
+            .layers()
+            .iter()
+            .map(|l| alg.plan(l, array).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn tiny_network_is_bit_exact_under_every_paper_algorithm() {
+        let net = zoo::tiny();
+        let array = PimArray::new(64, 64).unwrap();
+        for alg in MappingAlgorithm::paper_trio() {
+            for mode in [ExecMode::Exact, ExecMode::Quantized] {
+                let plans = plans_for(&net, array, alg);
+                let report = simulate_network(&net, &plans, 42, mode).unwrap();
+                assert!(report.is_fully_consistent(), "{alg} {mode}: {report:?}");
+                assert_eq!(report.elements, 8 * 4 * 4);
+                assert_eq!(report.array, "64x64");
+            }
+        }
+    }
+
+    #[test]
+    fn lenet5_pools_between_stages_and_stays_exact() {
+        let net = zoo::lenet5();
+        let array = PimArray::new(96, 64).unwrap();
+        let plans = plans_for(&net, array, MappingAlgorithm::VwSdk);
+        let report = simulate_network(&net, &plans, 7, ExecMode::Exact).unwrap();
+        assert!(report.is_fully_consistent(), "{report:?}");
+        // 16 channels x 5x5 after the trailing average pool.
+        assert_eq!(report.elements, 16 * 5 * 5);
+        assert_eq!(report.stages.len(), 2);
+        assert!(report.executed_cycles() > 0);
+    }
+
+    #[test]
+    fn executor_rejects_mismatched_plan_lists() {
+        let net = zoo::tiny();
+        let array = PimArray::new(64, 64).unwrap();
+        let mut plans = plans_for(&net, array, MappingAlgorithm::VwSdk);
+        plans.pop();
+        assert!(simulate_network(&net, &plans, 1, ExecMode::Quantized).is_err());
+        // Plans in the wrong order carry the wrong shapes.
+        let mut swapped = plans_for(&net, array, MappingAlgorithm::VwSdk);
+        swapped.reverse();
+        assert!(simulate_network(&net, &swapped, 1, ExecMode::Quantized).is_err());
+    }
+
+    #[test]
+    fn unchained_networks_are_rejected() {
+        let net = zoo::vgg13();
+        let array = PimArray::new(512, 512).unwrap();
+        let plans = plans_for(&net, array, MappingAlgorithm::VwSdk);
+        let err = simulate_network(&net, &plans, 1, ExecMode::Quantized).unwrap_err();
+        assert!(err.to_string().contains("conv1"), "{err}");
+    }
+
+    #[test]
+    fn deployment_execution_matches_plan_level_execution() {
+        use pim_chip::{optimize, ChipConfig};
+        let net = zoo::resnet18_sim();
+        let chip = ChipConfig::new(16, PimArray::new(128, 128).unwrap(), 2_000).unwrap();
+        let deployment =
+            optimize::deploy_mixed(&net, &MappingAlgorithm::paper_trio(), &chip).unwrap();
+        let report = simulate_deployment(&net, &deployment, 11, ExecMode::Quantized).unwrap();
+        assert!(report.is_fully_consistent(), "{report:?}");
+        // Stage algorithms are whatever the optimizer chose.
+        assert_eq!(report.stages.len(), net.len());
+        let direct = simulate_network(
+            &net,
+            &deployment
+                .allocations()
+                .iter()
+                .map(|a| a.plan().clone())
+                .collect::<Vec<_>>(),
+            11,
+            ExecMode::Quantized,
+        )
+        .unwrap();
+        assert_eq!(report, direct);
+    }
+
+    #[test]
+    fn empty_networks_are_rejected() {
+        let net = Network::new("empty");
+        assert!(simulate_network(&net, &[], 1, ExecMode::Quantized).is_err());
+    }
+
+    #[test]
+    fn exact_mode_rejects_networks_over_the_integer_headroom() {
+        use pim_nets::ConvLayer;
+        // 20 chained 256-channel 1x1 stages: each multiplies the
+        // worst-case magnitude by 256·8 = 2^11, blowing past i128
+        // around stage 11 — in release builds the overflow would wrap
+        // identically on both sides and fake a bit-exact verdict.
+        let mut net = Network::new("deep");
+        for i in 0..20 {
+            net.push(ConvLayer::square(format!("c{i}"), 4, 1, 256, 256).unwrap());
+        }
+        let array = PimArray::new(512, 512).unwrap();
+        let plans = plans_for(&net, array, MappingAlgorithm::Im2col);
+        let err = simulate_network(&net, &plans, 1, ExecMode::Exact).unwrap_err();
+        assert!(err.to_string().contains("quantized"), "{err}");
+        // The quantized mode resets the bound each stage and runs fine.
+        let report = simulate_network(&net, &plans, 1, ExecMode::Quantized).unwrap();
+        assert!(report.is_fully_consistent(), "{report:?}");
+    }
+}

@@ -4,7 +4,7 @@
 use crate::engine::{layer_params, Engine};
 use crate::Result;
 use pim_mapping::MappingPlan;
-use pim_tensor::{conv2d_direct, gen};
+use pim_tensor::{conv2d_direct, conv2d_grouped, gen};
 
 /// Outcome of verifying one plan with generated data.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,24 +31,28 @@ impl VerifyReport {
 }
 
 /// Runs a plan on deterministic pseudo-random `i64` tensors and compares
-/// the simulated output with the reference convolution.
+/// the simulated output with the reference convolution (grouped layers
+/// verify against the grouped reference).
 ///
 /// # Errors
 ///
-/// Returns [`crate::SimError`] if the plan cannot be laid out (grouped
-/// layers) or simulated.
+/// Returns [`crate::SimError`] if the plan cannot be simulated.
 pub fn verify_plan(plan: &MappingPlan, seed: u64) -> Result<VerifyReport> {
     let layer = plan.layer();
     let ifm = gen::random3::<i64>(layer.in_channels(), layer.input_h(), layer.input_w(), seed);
     let weights = gen::random4::<i64>(
         layer.out_channels(),
-        layer.in_channels(),
+        layer.in_channels_per_group(),
         layer.kernel_h(),
         layer.kernel_w(),
         seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
     );
     let run = Engine::new().run(plan, &ifm, &weights)?;
-    let reference = conv2d_direct(&ifm, &weights, layer_params(layer))?;
+    let reference = if layer.groups() > 1 {
+        conv2d_grouped(&ifm, &weights, layer_params(layer), layer.groups())?
+    } else {
+        conv2d_direct(&ifm, &weights, layer_params(layer))?
+    };
     let mismatches = run
         .ofm()
         .as_slice()
@@ -85,7 +89,7 @@ mod tests {
     }
 
     #[test]
-    fn grouped_layers_are_rejected() {
+    fn grouped_layers_verify_bit_exactly() {
         let dw = ConvLayer::builder("dw")
             .input(8, 8)
             .kernel(3, 3)
@@ -93,9 +97,29 @@ mod tests {
             .groups(4)
             .build()
             .unwrap();
-        let plan = MappingAlgorithm::Im2col
-            .plan(&dw, PimArray::new(64, 64).unwrap())
+        for alg in MappingAlgorithm::paper_trio() {
+            let plan = alg.plan(&dw, PimArray::new(64, 64).unwrap()).unwrap();
+            let report = verify_plan(&plan, 1).unwrap();
+            assert!(report.is_fully_consistent(), "{alg}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_non_depthwise_layers_verify_too() {
+        // 8 channels in 2 groups: each group is a dense 4->3 conv.
+        let grouped = ConvLayer::builder("g")
+            .input(9, 9)
+            .kernel(3, 3)
+            .channels(8, 6)
+            .groups(2)
+            .stride(2)
+            .padding(1)
+            .build()
             .unwrap();
-        assert!(verify_plan(&plan, 1).is_err());
+        for alg in MappingAlgorithm::paper_trio() {
+            let plan = alg.plan(&grouped, PimArray::new(48, 32).unwrap()).unwrap();
+            let report = verify_plan(&plan, 9).unwrap();
+            assert!(report.is_fully_consistent(), "{alg}: {report:?}");
+        }
     }
 }

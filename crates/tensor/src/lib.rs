@@ -9,6 +9,10 @@
 //!   (matrix, `C×H×W` feature map, `OC×IC×KH×KW` weight bank);
 //! * [`conv`] — direct and im2col-based 2-D convolution with stride, padding
 //!   and dilation, plus grouped/depthwise variants;
+//! * [`ops`] — the digital inter-stage operators (ReLU, max/avg pooling,
+//!   int8-style requantization);
+//! * [`mod@forward`] — the network-scale reference pass chaining convolutions
+//!   through a [`pim_nets::Network`]'s inter-layer operators;
 //! * [`matmul`] — the naive GEMM used by the im2col path;
 //! * [`gen`] — deterministic pseudo-random tensor generators.
 //!
@@ -31,12 +35,15 @@
 #![deny(missing_docs)]
 
 pub mod conv;
+pub mod forward;
 pub mod gen;
 pub mod matmul;
+pub mod ops;
 mod scalar;
 mod tensor;
 
 pub use conv::{conv2d_direct, conv2d_grouped, conv2d_im2col, Conv2dParams};
+pub use forward::{forward, ExecMode};
 pub use scalar::Scalar;
 pub use tensor::{Tensor2, Tensor3, Tensor4};
 

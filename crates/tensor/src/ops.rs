@@ -1,0 +1,167 @@
+//! Digital inter-stage operators on feature maps.
+//!
+//! Convolutions run on the analog crossbar; everything between two
+//! convolutions — activations, pooling, requantization — runs in the
+//! digital periphery. These are the reference implementations of those
+//! operators, shared (via [`mod@crate::forward`]) by the network reference
+//! pass and, in `pim-sim`, by the network executor, so both sides of a
+//! bit-exact comparison apply literally the same arithmetic.
+
+use crate::{Result, Scalar, ShapeError, Tensor3};
+
+/// Element-wise rectified linear unit: `max(x, 0)`.
+pub fn relu<T: Scalar>(input: &Tensor3<T>) -> Tensor3<T> {
+    let (c, h, w) = input.dims();
+    let data = input
+        .as_slice()
+        .iter()
+        .map(|&v| v.max_with(T::ZERO))
+        .collect();
+    Tensor3::from_vec(c, h, w, data).expect("relu preserves the element count")
+}
+
+/// Element-wise int8-style requantization (see [`Scalar::requant8`]):
+/// divide by 2⁷ and saturate into `[-127, 127]`. The quantized network
+/// execution mode applies this between stages to bound value growth.
+pub fn requant8<T: Scalar>(input: &Tensor3<T>) -> Tensor3<T> {
+    let (c, h, w) = input.dims();
+    let data = input.as_slice().iter().map(|&v| v.requant8()).collect();
+    Tensor3::from_vec(c, h, w, data).expect("requant8 preserves the element count")
+}
+
+/// Pooling geometry comes from the one authoritative definition,
+/// [`pim_nets::InterOp::output_dims`] — the same formula
+/// `Network::check_chain` validates with — so chain validation and
+/// execution cannot drift apart.
+fn check_pool(op: pim_nets::InterOp, h: usize, w: usize) -> Result<(usize, usize)> {
+    op.output_dims(h, w)
+        .map_err(|e| ShapeError::new(e.to_string()))
+}
+
+/// Max pooling over square `kernel` windows at the given `stride`,
+/// per channel.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the kernel or stride is zero, or the
+/// kernel exceeds the input.
+pub fn max_pool2d<T: Scalar>(
+    input: &Tensor3<T>,
+    kernel: usize,
+    stride: usize,
+) -> Result<Tensor3<T>> {
+    let (c, h, w) = input.dims();
+    let (oh, ow) = check_pool(pim_nets::InterOp::MaxPool { kernel, stride }, h, w)?;
+    let mut out = Tensor3::zeros(c, oh, ow);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = input.get(ch, oy * stride, ox * stride);
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        best = best.max_with(input.get(ch, oy * stride + ky, ox * stride + kx));
+                    }
+                }
+                out.set(ch, oy, ox, best);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Average pooling over square `kernel` windows at the given `stride`,
+/// per channel. Integer means truncate toward zero (the digital
+/// periphery's fixed-point divide); float means are exact.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as
+/// [`max_pool2d`], plus a kernel too large for the `u16` divisor.
+pub fn avg_pool2d<T: Scalar>(
+    input: &Tensor3<T>,
+    kernel: usize,
+    stride: usize,
+) -> Result<Tensor3<T>> {
+    let (c, h, w) = input.dims();
+    let (oh, ow) = check_pool(pim_nets::InterOp::AvgPool { kernel, stride }, h, w)?;
+    let count = u16::try_from(kernel * kernel)
+        .map_err(|_| ShapeError::new(format!("pooling window {kernel}x{kernel} is too large")))?;
+    let mut out = Tensor3::zeros(c, oh, ow);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = T::ZERO;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        acc += input.get(ch, oy * stride + ky, ox * stride + kx);
+                    }
+                }
+                out.set(ch, oy, ox, acc.div_count(count));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives_only() {
+        let t = Tensor3::from_vec(1, 2, 2, vec![-3, 0, 4, -1]).unwrap();
+        assert_eq!(relu(&t).as_slice(), &[0, 0, 4, 0]);
+        let f = Tensor3::from_vec(1, 1, 2, vec![-0.5f64, 2.5]).unwrap();
+        assert_eq!(relu(&f).as_slice(), &[0.0, 2.5]);
+    }
+
+    #[test]
+    fn max_pool_takes_window_maxima() {
+        let t = Tensor3::from_vec(1, 4, 4, (0..16).collect()).unwrap();
+        let p = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(p.dims(), (1, 2, 2));
+        assert_eq!(p.as_slice(), &[5, 7, 13, 15]);
+        // Overlapping windows (stride < kernel).
+        let o = max_pool2d(&t, 2, 1).unwrap();
+        assert_eq!(o.dims(), (1, 3, 3));
+        assert_eq!(o.get(0, 0, 0), 5);
+    }
+
+    #[test]
+    fn max_pool_handles_negative_windows() {
+        let t = Tensor3::from_vec(1, 2, 2, vec![-8, -3, -5, -9]).unwrap();
+        assert_eq!(max_pool2d(&t, 2, 2).unwrap().as_slice(), &[-3]);
+    }
+
+    #[test]
+    fn avg_pool_truncates_integer_means() {
+        let t = Tensor3::from_vec(1, 2, 2, vec![1, 2, 3, 5]).unwrap();
+        // (1+2+3+5)/4 = 11/4 -> 2 (truncating).
+        assert_eq!(avg_pool2d(&t, 2, 2).unwrap().as_slice(), &[2]);
+        let n = Tensor3::from_vec(1, 2, 2, vec![-1, -2, -3, -5]).unwrap();
+        assert_eq!(avg_pool2d(&n, 2, 2).unwrap().as_slice(), &[-2]);
+        let f = Tensor3::from_vec(1, 2, 2, vec![1.0f64, 2.0, 3.0, 5.0]).unwrap();
+        assert_eq!(avg_pool2d(&f, 2, 2).unwrap().as_slice(), &[2.75]);
+    }
+
+    #[test]
+    fn pooling_is_per_channel() {
+        let t = Tensor3::from_vec(2, 2, 2, vec![1, 2, 3, 4, 10, 20, 30, 40]).unwrap();
+        let p = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(p.as_slice(), &[4, 40]);
+    }
+
+    #[test]
+    fn degenerate_pools_are_rejected() {
+        let t = Tensor3::<i32>::zeros(1, 3, 3);
+        assert!(max_pool2d(&t, 0, 1).is_err());
+        assert!(max_pool2d(&t, 2, 0).is_err());
+        assert!(avg_pool2d(&t, 4, 1).is_err());
+    }
+
+    #[test]
+    fn requant8_saturates_tensors() {
+        let t = Tensor3::from_vec(1, 1, 3, vec![100_000i64, -300, 64]).unwrap();
+        assert_eq!(requant8(&t).as_slice(), &[127, -2, 0]);
+    }
+}

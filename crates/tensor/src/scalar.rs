@@ -7,10 +7,13 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 /// Element type usable in tensors and convolution kernels.
 ///
 /// This is deliberately small: the reference kernels only need a ring with a
-/// zero element. Implementations are provided for `f32`, `f64`, `i32`, `i64`
-/// and `i128`. Integer instantiations give *exact* arithmetic, which the
-/// cross-checking tests in `pim-sim` rely on; float instantiations model the
-/// analog datapath.
+/// zero element, plus the three digital-periphery primitives the network
+/// forward pass uses (ordering for max pooling, exact division by a window
+/// size for average pooling, and the int8-style requantization of the
+/// simulator's quantized mode). Implementations are provided for `f32`,
+/// `f64`, `i32`, `i64` and `i128`. Integer instantiations give *exact*
+/// arithmetic, which the cross-checking tests in `pim-sim` rely on; float
+/// instantiations model the analog datapath.
 pub trait Scalar:
     Copy
     + Debug
@@ -34,24 +37,85 @@ pub trait Scalar:
     /// far below the integer mantissa limit of `f32`, so the conversion is
     /// exact for every provided implementation.
     fn from_u16(value: u16) -> Self;
+
+    /// The larger of `self` and `other` (the max-pooling / ReLU
+    /// primitive). Floats use IEEE `max`; no NaN ever enters the
+    /// simulator's tensors.
+    fn max_with(self, other: Self) -> Self;
+
+    /// Division by a small positive count (the average-pooling
+    /// primitive): truncating toward zero for integers, exact for
+    /// floats. Both the reference forward pass and the simulated
+    /// digital periphery use this same definition, so integer averages
+    /// stay bit-identical.
+    fn div_count(self, count: u16) -> Self;
+
+    /// Int8-style requantization of an accumulated activation: divide
+    /// by 2⁷ (truncating for integers) and saturate into `[-127, 127]`.
+    /// Applied between network stages in the simulator's quantized
+    /// mode, it bounds value growth so arbitrarily deep integer
+    /// executions stay exact (no overflow) while remaining a pure,
+    /// domain-independent function — the executor and the reference
+    /// forward pass apply it identically.
+    fn requant8(self) -> Self;
 }
 
-macro_rules! impl_scalar {
+macro_rules! impl_scalar_int {
     ($($t:ty),*) => {
         $(
             impl Scalar for $t {
-                const ZERO: Self = 0 as $t;
-                const ONE: Self = 1 as $t;
+                const ZERO: Self = 0;
+                const ONE: Self = 1;
 
                 fn from_u16(value: u16) -> Self {
                     value as $t
+                }
+
+                fn max_with(self, other: Self) -> Self {
+                    Ord::max(self, other)
+                }
+
+                fn div_count(self, count: u16) -> Self {
+                    self / count as $t
+                }
+
+                fn requant8(self) -> Self {
+                    (self / 128).clamp(-127, 127)
                 }
             }
         )*
     };
 }
 
-impl_scalar!(f32, f64, i32, i64, i128);
+macro_rules! impl_scalar_float {
+    ($($t:ty),*) => {
+        $(
+            impl Scalar for $t {
+                const ZERO: Self = 0.0;
+                const ONE: Self = 1.0;
+
+                fn from_u16(value: u16) -> Self {
+                    value as $t
+                }
+
+                fn max_with(self, other: Self) -> Self {
+                    self.max(other)
+                }
+
+                fn div_count(self, count: u16) -> Self {
+                    self / count as $t
+                }
+
+                fn requant8(self) -> Self {
+                    (self / 128.0).clamp(-127.0, 127.0)
+                }
+            }
+        )*
+    };
+}
+
+impl_scalar_int!(i32, i64, i128);
+impl_scalar_float!(f32, f64);
 
 #[cfg(test)]
 mod tests {
@@ -89,5 +153,30 @@ mod tests {
         }
         assert_eq!(negate(5i32), -5);
         assert_eq!(negate(2.0f64), -2.0);
+    }
+
+    #[test]
+    fn max_with_orders_both_domains() {
+        assert_eq!(7i64.max_with(-3), 7);
+        assert_eq!((-7i32).max_with(-3), -3);
+        assert_eq!(1.5f64.max_with(2.5), 2.5);
+    }
+
+    #[test]
+    fn div_count_truncates_integers_toward_zero() {
+        assert_eq!(7i32.div_count(4), 1);
+        assert_eq!((-7i32).div_count(4), -1);
+        assert_eq!(7.0f64.div_count(4), 1.75);
+    }
+
+    #[test]
+    fn requant8_scales_and_saturates() {
+        assert_eq!(1000i64.requant8(), 7);
+        assert_eq!((-1000i64).requant8(), -7);
+        assert_eq!(1_000_000i64.requant8(), 127);
+        assert_eq!((-1_000_000i64).requant8(), -127);
+        assert_eq!(0i128.requant8(), 0);
+        assert_eq!(256.0f64.requant8(), 2.0);
+        assert_eq!(1e9f32.requant8(), 127.0);
     }
 }

@@ -10,6 +10,7 @@
 //! vwsdk layer  --input 56 --kernel 3 --ic 128 --oc 256 --array 512x512
 //! vwsdk search --input 56 --kernel 3 --ic 128 --oc 256 --array 512x512 --top 5
 //! vwsdk verify --network tiny --array 64x64
+//! vwsdk simulate --network vgg13-sim --array 64x64 --seed 7 --format json
 //! vwsdk sweep  --networks vgg13,resnet18 --arrays 256x256,512x512 --jobs 4
 //! vwsdk sweep  --networks all --format json
 //! vwsdk deploy --network resnet18 --arrays 32 --array 512x512 --format json
@@ -27,6 +28,7 @@ use pim_nets::{zoo, ConvLayer, Network, NetworkSpec};
 use pim_report::table::{Align, TextTable};
 use pim_report::{fmt_f64, fmt_speedup};
 use pim_sim::verify::verify_plan;
+use pim_sim::ExecMode;
 use std::fmt;
 use std::sync::OnceLock;
 use vw_sdk::render::{render_speedups, render_table1};
@@ -70,6 +72,17 @@ COMMANDS:
     search   Show the window search  (same layer options, plus --top N)
     show     Draw a tile layout      (same layer options, plus --algorithm NAME)
     verify   Run the simulator       (--network NAME --array RxC [--seed N])
+                                     per-layer bit-exact check of every paper
+                                     algorithm against the reference convolution
+    simulate Network-scale simulation (--network NAME | --spec FILE.json,
+                                      --array RxC [--algorithm NAME] [--seed N]
+                                      [--mode exact|quantized]
+                                      [--format text|json])
+                                     streams one input through every deployed
+                                     stage (conv on crossbars, ReLU/pooling
+                                     digitally) and verifies the output
+                                     bit-exact against the reference forward
+                                     pass, executed == predicted cycles
     sweep    Batch design-space plan (--networks a,b,... [--spec FILE.json]
                                       --arrays RxC,... --jobs N [--format text|json])
                                      defaults: every zoo network, the Fig. 8(b)
@@ -83,7 +96,7 @@ COMMANDS:
     serve    HTTP planning daemon    (--addr HOST:PORT --jobs N)
                                      endpoints: GET /healthz, GET /v1/networks,
                                      POST /v1/plan, POST /v1/sweep,
-                                     POST /v1/deploy
+                                     POST /v1/deploy, POST /v1/simulate
 
 OPTIONS:
     --array RxC     PIM array geometry, e.g. 512x512 (default 512x512)
@@ -92,8 +105,14 @@ OPTIONS:
     --arrays X      Sweep: comma-separated geometries; deploy: the chip's
                     array count (default 128)
     --reprogram N   Deploy: array reload cost in cycles (default 2000)
-    --spec FILE     JSON network spec (plan, sweep, deploy; see examples/specs/)
-    --format F      Output: text/table (default) or json (sweep, deploy)
+    --spec FILE     JSON network spec (plan, sweep, deploy, simulate;
+                    see examples/specs/)
+    --format F      Output: text/table (default) or json (sweep, deploy,
+                    simulate)
+    --seed N        Data seed for generated tensors (verify, simulate;
+                    default 2024) — same seed, same bytes, on any machine
+    --mode M        Simulate: exact (i128, no rescaling) or quantized
+                    (i64, int8-style inter-stage requantization; default)
     --jobs N        Worker threads; 0 = one per core (sweep: planners,
                     serve: connection workers)
     --addr H:P      Serve bind address (default 127.0.0.1:7878)
@@ -165,6 +184,21 @@ pub enum Command {
         array: PimArray,
         /// Data seed.
         seed: u64,
+    },
+    /// `vwsdk simulate`
+    Simulate {
+        /// Zoo name or spec file to simulate.
+        network: NetworkSource,
+        /// Target array.
+        array: PimArray,
+        /// Algorithm mapping every layer.
+        algorithm: MappingAlgorithm,
+        /// Data seed.
+        seed: u64,
+        /// Inter-stage execution mode.
+        mode: ExecMode,
+        /// Output format.
+        format: SweepFormat,
     },
     /// `vwsdk sweep`
     Sweep {
@@ -291,6 +325,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
     let mut jobs = 0usize;
     let mut spec: Option<String> = None;
     let mut format = SweepFormat::Text;
+    let mut mode = ExecMode::Quantized;
     let mut reprogram = 2_000u64;
     let mut addr = "127.0.0.1:7878".to_string();
 
@@ -353,7 +388,19 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             "--seed" => {
                 seed = take_value(args, &mut i, flag)?
                     .parse()
-                    .map_err(|_| CliError::new("--seed expects an integer"))?
+                    .ok()
+                    // The JSON schema stores seeds as exact f64 integers,
+                    // so the CLI accepts the same 2^53 range the server
+                    // does — keeping `--format json` output re-runnable
+                    // and byte-identical to the wire.
+                    .filter(|s| *s <= (1u64 << 53))
+                    .ok_or_else(|| CliError::new("--seed expects an integer <= 2^53"))?
+            }
+            "--mode" => {
+                let v = take_value(args, &mut i, flag)?;
+                mode = ExecMode::by_label(v).ok_or_else(|| {
+                    CliError::new(format!("--mode expects exact or quantized, got {v:?}"))
+                })?;
             }
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(CliError::new(format!("unknown option {other:?}"))),
@@ -394,6 +441,23 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             network: network.ok_or_else(|| CliError::new("verify requires --network"))?,
             array,
             seed,
+        }),
+        "simulate" => Ok(Command::Simulate {
+            network: match (network, spec) {
+                (Some(_), Some(_)) => {
+                    return Err(CliError::new(
+                        "simulate takes either --network or --spec, not both",
+                    ))
+                }
+                (Some(name), None) => NetworkSource::Zoo(name),
+                (None, Some(path)) => NetworkSource::SpecFile(path),
+                (None, None) => return Err(CliError::new("simulate requires --network or --spec")),
+            },
+            array,
+            algorithm,
+            seed,
+            mode,
+            format,
         }),
         "sweep" => {
             // Catch the singular spellings every other subcommand uses —
@@ -741,6 +805,81 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                 .map_err(|e| CliError::new(format!("server failed: {e}")))?;
             Ok(String::new())
         }
+        Command::Simulate {
+            network,
+            array,
+            algorithm,
+            seed,
+            mode,
+            format,
+        } => {
+            let net = match network {
+                NetworkSource::Zoo(name) => lookup_network(name)?,
+                NetworkSource::SpecFile(path) => load_spec_network(path)?,
+            };
+            let report = shared_engine()
+                .simulate_network_with(&net, *array, *algorithm, *seed, *mode)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            if *format == SweepFormat::Json {
+                // api::simulation_json is the same function POST
+                // /v1/simulate answers with, byte for byte.
+                return Ok(api::simulation_json(&report).render());
+            }
+            let mut table = TextTable::new(&[
+                "layer",
+                "algorithm",
+                "plan",
+                "predicted",
+                "executed",
+                "MACs",
+                "ADC",
+                "DAC",
+                "energy pJ",
+            ]);
+            for c in 3..9 {
+                table.align(c, Align::Right);
+            }
+            for stage in &report.stages {
+                table.add_row(&[
+                    stage.layer.clone(),
+                    stage.algorithm.label().to_string(),
+                    stage.descriptor.clone(),
+                    stage.predicted_cycles.to_string(),
+                    stage.executed_cycles.to_string(),
+                    stage.macs.to_string(),
+                    stage.adc_conversions.to_string(),
+                    stage.dac_conversions.to_string(),
+                    fmt_f64(stage.energy_pj, 0),
+                ]);
+            }
+            Ok(format!(
+                "{} on {} ({} mode, seed {})\n\n{}\n\
+                 output: {} elements, {} mismatches -> {}\n\
+                 cycles: {} executed / {} predicted -> {}\n\
+                 total: {} MACs, {} pJ\n",
+                report.network,
+                report.array,
+                report.mode,
+                report.seed,
+                table.render(),
+                report.elements,
+                report.mismatches,
+                if report.matches() {
+                    "bit-exact against the reference forward pass"
+                } else {
+                    "MISMATCH"
+                },
+                report.executed_cycles(),
+                report.predicted_cycles(),
+                if report.cycles_match() {
+                    "every stage as predicted"
+                } else {
+                    "DISAGREEMENT"
+                },
+                report.total_macs(),
+                fmt_f64(report.total_energy_pj(), 0),
+            ))
+        }
         Command::Verify {
             network,
             array,
@@ -1043,6 +1182,86 @@ mod tests {
         let cmd = parse(&argv("deploy --network tiny --arrays 0")).unwrap();
         let err = run(&cmd).unwrap_err();
         assert!(err.to_string().contains("at least 1 array"), "{err}");
+    }
+
+    #[test]
+    fn simulate_parses_defaults_and_flags() {
+        let cmd = parse(&argv("simulate --network vgg13-sim")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                network: NetworkSource::Zoo("vgg13-sim".into()),
+                array: PimArray::new(512, 512).unwrap(),
+                algorithm: MappingAlgorithm::VwSdk,
+                seed: 2_024,
+                mode: ExecMode::Quantized,
+                format: SweepFormat::Text,
+            }
+        );
+        let cmd = parse(&argv(
+            "simulate --spec my.json --array 64x64 --algorithm im2col \
+             --seed 7 --mode exact --format json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                network: NetworkSource::SpecFile("my.json".into()),
+                array: PimArray::new(64, 64).unwrap(),
+                algorithm: MappingAlgorithm::Im2col,
+                seed: 7,
+                mode: ExecMode::Exact,
+                format: SweepFormat::Json,
+            }
+        );
+        assert!(parse(&argv("simulate")).is_err());
+        assert!(parse(&argv("simulate --network a --spec b.json")).is_err());
+        assert!(parse(&argv("simulate --network tiny --mode fuzzy")).is_err());
+    }
+
+    #[test]
+    fn simulate_text_reports_bit_exactness() {
+        let cmd = parse(&argv("simulate --network tiny --array 64x64 --seed 42")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(
+            out.contains("tiny on 64x64 (quantized mode, seed 42)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("bit-exact against the reference forward pass"),
+            "{out}"
+        );
+        assert!(out.contains("every stage as predicted"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+    }
+
+    #[test]
+    fn simulate_json_is_the_service_payload() {
+        // The CLI's --format json bytes must match what POST /v1/simulate
+        // answers for the same question (the acceptance criterion).
+        let cmd = parse(&argv(
+            "simulate --network lenet5 --array 96x64 --seed 7 --format json",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        let expected = vw_sdk::PlanningEngine::new()
+            .simulate_network_with(
+                &zoo::lenet5(),
+                PimArray::new(96, 64).unwrap(),
+                MappingAlgorithm::VwSdk,
+                7,
+                ExecMode::Quantized,
+            )
+            .unwrap();
+        assert_eq!(out, api::simulation_json(&expected).render());
+        assert!(JsonValue::parse(&out).is_ok());
+    }
+
+    #[test]
+    fn simulate_rejects_unchained_networks() {
+        let cmd = parse(&argv("simulate --network vgg13")).unwrap();
+        let err = run(&cmd).unwrap_err();
+        assert!(err.to_string().contains("conv1"), "{err}");
     }
 
     #[test]
