@@ -19,6 +19,7 @@
 //! | [`precision`] | A6: device-precision sweep |
 //! | [`chip`] | A7: chip-scale pipelined deployment |
 //! | [`sweep`] | A4: extra networks × array sizes (via the parallel, memoized `PlanningEngine`) |
+//! | [`simbench`] | A8: batched-simulation MACs/s trajectory (`BENCH_sim.json`) |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -32,6 +33,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod precision;
+pub mod simbench;
 pub mod sweep;
 pub mod table1;
 

@@ -449,6 +449,71 @@ impl PlanningEngine {
             .map_err(|e| VwSdkError::new(e.to_string()))
     }
 
+    /// Batched [`PlanningEngine::simulate_network`] with the default
+    /// configuration (VW-SDK plans, quantized mode); `jobs` follows the
+    /// engine's convention (`0` = all cores).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VwSdkError`] under the same conditions as
+    /// [`PlanningEngine::simulate_network_batch_with`].
+    pub fn simulate_network_batch(
+        &self,
+        network: &Network,
+        array: PimArray,
+        seed: u64,
+        batch: usize,
+        jobs: usize,
+    ) -> Result<pim_sim::SimulationReport> {
+        self.simulate_network_batch_with(
+            network,
+            array,
+            MappingAlgorithm::VwSdk,
+            seed,
+            pim_sim::ExecMode::Quantized,
+            batch,
+            jobs,
+        )
+    }
+
+    /// Batched [`PlanningEngine::simulate_network_with`]: plans every
+    /// layer through the shared cache, programs the deployment's
+    /// crossbars **once**, then streams `batch` deterministic input
+    /// feature maps through the programmed pipeline with up to `jobs`
+    /// worker threads (`0` = all cores, clamped to the batch). Every
+    /// batch element is verified bit-exact against its own reference
+    /// forward pass, and the report aggregates over the batch
+    /// (programmings counted once; cycles, MACs and energy summed).
+    ///
+    /// `vwsdk simulate --batch N` and `POST /v1/simulate` with a
+    /// `batch` field both answer with exactly this report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VwSdkError`] under the same conditions as
+    /// [`PlanningEngine::simulate_network_with`], or when `batch == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_network_batch_with(
+        &self,
+        network: &Network,
+        array: PimArray,
+        algorithm: MappingAlgorithm,
+        seed: u64,
+        mode: pim_sim::ExecMode,
+        batch: usize,
+        jobs: usize,
+    ) -> Result<pim_sim::SimulationReport> {
+        network.check_chain()?;
+        let tasks: Vec<&ConvLayer> = network.layers().iter().collect();
+        let planned = self.parallel_map(&tasks, |&layer| self.plan(layer, array, algorithm));
+        let mut plans = Vec::with_capacity(network.len());
+        for plan in planned {
+            plans.push(plan?);
+        }
+        pim_sim::simulate_network_batch(network, &plans, seed, mode, batch, jobs)
+            .map_err(|e| VwSdkError::new(e.to_string()))
+    }
+
     /// Cached Algorithm 1 search (see [`SearchCache`]). The result is
     /// shared, not cloned — traces can be large.
     pub fn search(

@@ -250,6 +250,7 @@ pub fn simulation_json(report: &pim_sim::SimulationReport) -> JsonValue {
         ("array", JsonValue::from(report.array.as_str())),
         ("seed", report.seed.into()),
         ("mode", JsonValue::from(report.mode.label())),
+        ("batch", JsonValue::from(report.batch as u64)),
         (
             "stages",
             JsonValue::array(report.stages.iter().map(stage_execution_json)),

@@ -48,6 +48,11 @@ const DEFAULT_SIM_SEED: u64 = 2_024;
 /// executable zoo with two orders of magnitude to spare while bounding
 /// a hostile request to seconds, not hours.
 const MAX_SIM_MACS: u64 = 1 << 28;
+/// Largest `"batch"` a simulate request may name. Combined with
+/// [`MAX_SIM_MACS`] (the bound is on `batch × total_macs`) this keeps a
+/// hostile batched request inside the same compute envelope as a
+/// single-input one.
+const MAX_SIM_BATCH: u64 = 256;
 
 fn bad_request(message: impl Into<String>) -> HandlerError {
     (400, message.into())
@@ -364,14 +369,17 @@ pub fn deploy(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerErro
 
 /// `POST /v1/simulate` — body: `{"network": NAME | "spec": {...},
 /// "array"?: "RxC" | {"rows","cols"}, "algorithm"?: LABEL,
-/// "seed"?: N, "mode"?: "exact" | "quantized"}`. Defaults: VW-SDK
-/// plans on the paper's 512×512 array, seed 2024, quantized mode.
+/// "seed"?: N, "mode"?: "exact" | "quantized", "batch"?: N}`.
+/// Defaults: VW-SDK plans on the paper's 512×512 array, seed 2024,
+/// quantized mode, batch 1.
 ///
-/// Plans every layer through the shared engine cache, executes the
-/// plans end to end on the functional simulator with deterministic
-/// seed-derived tensors, and answers the per-stage executed-vs-
-/// predicted report including the bit-exactness verdict against the
-/// reference forward pass.
+/// Plans every layer through the shared engine cache, programs the
+/// plans once, streams `batch` deterministic seed-derived inputs
+/// through the deployment end to end on the functional simulator, and
+/// answers the per-stage executed-vs-predicted report (counters summed
+/// over the batch, programmings counted once) including the
+/// bit-exactness verdict against the reference forward pass of every
+/// batch element.
 ///
 /// The response is [`api::simulation_json`] exactly — no appended cache
 /// member — so `vwsdk simulate --format json` and this endpoint answer
@@ -380,7 +388,15 @@ pub fn simulate(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerEr
     let body = parse_body(body)?;
     check_known_fields(
         &body,
-        &["network", "spec", "array", "algorithm", "seed", "mode"],
+        &[
+            "network",
+            "spec",
+            "array",
+            "algorithm",
+            "seed",
+            "mode",
+            "batch",
+        ],
     )?;
     let network = network_field(&body)?;
     let array = array_field(&body)?;
@@ -412,16 +428,39 @@ pub fn simulate(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerEr
             })?
         }
     };
-    if network.total_macs() > MAX_SIM_MACS {
+    let batch = match body.get("batch") {
+        None => 1,
+        Some(value) => {
+            let batch = value
+                .as_u64()
+                .ok_or_else(|| bad_request("\"batch\" must be a positive integer"))?;
+            if batch == 0 {
+                return Err(unprocessable(
+                    "\"batch\" must be at least 1 (a batch of 0 inputs simulates nothing)"
+                        .to_string(),
+                ));
+            }
+            if batch > MAX_SIM_BATCH {
+                return Err(unprocessable(format!(
+                    "\"batch\" {batch} is over the simulation limit of {MAX_SIM_BATCH}"
+                )));
+            }
+            batch
+        }
+    };
+    let total_macs = network.total_macs().saturating_mul(batch);
+    if total_macs > MAX_SIM_MACS {
         return Err(unprocessable(format!(
-            "network {:?} needs {} MACs per inference, over the simulation limit of {MAX_SIM_MACS}",
+            "network {:?} needs {total_macs} MACs for a batch of {batch}, over the \
+             simulation limit of {MAX_SIM_MACS}",
             network.name(),
-            network.total_macs()
         )));
     }
+    // Stream workers stay at 1: the connection pool is the server's
+    // parallelism budget, one core per in-flight request.
     let report = state
         .engine()
-        .simulate_network_with(&network, array, algorithm, seed, mode)
+        .simulate_network_batch_with(&network, array, algorithm, seed, mode, batch as usize, 1)
         .map_err(|e| unprocessable(e.to_string()))?;
     state.trim_caches();
     Ok(api::simulation_json(&report))
@@ -800,6 +839,68 @@ mod tests {
             response.get("bit_exact").and_then(JsonValue::as_bool),
             Some(true)
         );
+    }
+
+    #[test]
+    fn simulate_streams_a_batch_and_reports_it() {
+        let s = state();
+        let response = simulate(
+            &s,
+            br#"{"network": "tiny", "array": "64x64", "seed": 42, "batch": 3}"#,
+        )
+        .unwrap();
+        assert_eq!(response.get("batch").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(
+            response.get("bit_exact").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        let single = simulate(&s, br#"{"network": "tiny", "array": "64x64", "seed": 42}"#).unwrap();
+        assert_eq!(single.get("batch").and_then(JsonValue::as_u64), Some(1));
+        // Output elements sum over the batch; weights are programmed once
+        // per deployment regardless of the batch size.
+        assert_eq!(
+            response.get("elements").and_then(JsonValue::as_u64),
+            single
+                .get("elements")
+                .and_then(JsonValue::as_u64)
+                .map(|e| e * 3)
+        );
+        let programmings = |r: &JsonValue| -> u64 {
+            r.get("stages")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .iter()
+                .map(|s| {
+                    s.get("array_programmings")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap()
+                })
+                .sum()
+        };
+        assert_eq!(programmings(&response), programmings(&single));
+    }
+
+    #[test]
+    fn simulate_bounds_the_batch() {
+        let s = state();
+        let (status, message) = simulate(&s, br#"{"network": "tiny", "batch": 0}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("at least 1"), "{message}");
+        let (status, message) = simulate(&s, br#"{"network": "tiny", "batch": 1000}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("256"), "{message}");
+        assert_eq!(
+            simulate(&s, br#"{"network": "tiny", "batch": "many"}"#)
+                .unwrap_err()
+                .0,
+            400
+        );
+        // A network inside the single-input MAC bound is still shed when
+        // the batch multiplies it past the envelope.
+        let (status, message) =
+            simulate(&s, br#"{"network": "vgg13-sim", "batch": 256}"#).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(message.contains("simulation limit"), "{message}");
     }
 
     #[test]

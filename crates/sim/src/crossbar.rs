@@ -100,11 +100,45 @@ impl<T: Scalar> Crossbar<T> {
     /// One analog matrix-vector multiply: drives `input` into the rows and
     /// returns the per-column accumulations.
     ///
+    /// Thin allocating wrapper around [`Crossbar::mvm_into`]; hot paths
+    /// (the engine's cycle loop) use the `_into` form to reuse one
+    /// output buffer across cycles.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] if `input.len() != rows`.
     pub fn mvm(&self, input: &[T]) -> Result<Vec<T>> {
-        pim_tensor::matmul::column_mvm(&self.cells, input).map_err(SimError::from)
+        let mut out = Vec::new();
+        self.mvm_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Crossbar::mvm`] into a caller-provided buffer (cleared and
+    /// resized to `cols`), avoiding the per-cycle allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if `input.len() != rows`.
+    pub fn mvm_into(&self, input: &[T], out: &mut Vec<T>) -> Result<()> {
+        pim_tensor::matmul::column_mvm_into(&self.cells, input, out).map_err(SimError::from)
+    }
+
+    /// `batch` independent MVMs against the same programmed cells in one
+    /// pass: `inputs` packs `batch` row-vectors back to back
+    /// (`inputs[bi * rows + r]`), and `out` receives `batch` column
+    /// accumulations (`out[bi * cols + c]`).
+    ///
+    /// Each programmed row is read once per batch instead of once per
+    /// input vector — the cache-locality win batched simulation is built
+    /// on. Per-element results are bit-identical to [`Crossbar::mvm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if `batch == 0` or
+    /// `inputs.len() != batch * rows`.
+    pub fn mvm_batch_into(&self, inputs: &[T], batch: usize, out: &mut Vec<T>) -> Result<()> {
+        pim_tensor::matmul::column_mvm_batch_into(&self.cells, inputs, batch, out)
+            .map_err(SimError::from)
     }
 }
 
@@ -160,6 +194,38 @@ mod tests {
         x.program_layout(&cells, &weights).unwrap();
         let y = x.mvm(&[1, 0, 0, 1]).unwrap();
         assert_eq!(y, vec![weights.get(0, 0, 0, 0), weights.get(1, 0, 1, 1)]);
+    }
+
+    #[test]
+    fn mvm_into_reuses_a_dirty_buffer() {
+        let mut x: Crossbar<i64> = Crossbar::new(2, 3);
+        x.program_cell(0, 0, 2);
+        x.program_cell(1, 2, 5);
+        let mut out = vec![99, 99, 99, 99, 99];
+        x.mvm_into(&[3, 4], &mut out).unwrap();
+        assert_eq!(out, vec![6, 0, 20]);
+        assert_eq!(x.mvm(&[3, 4]).unwrap(), out);
+    }
+
+    #[test]
+    fn batched_mvm_matches_per_element_mvm() {
+        let weights = gen::ramp4::<i64>(4, 2, 2, 2);
+        let mut x: Crossbar<i64> = Crossbar::new(8, 4);
+        for r in 0..8 {
+            for c in 0..4 {
+                x.program_cell(r, c, weights.get(c, r % 2, (r / 2) % 2, r / 4));
+            }
+        }
+        let a: Vec<i64> = (0..8).map(|v| v - 3).collect();
+        let b: Vec<i64> = (0..8).map(|v| 2 * v - 7).collect();
+        let packed: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        let mut out = Vec::new();
+        x.mvm_batch_into(&packed, 2, &mut out).unwrap();
+        let mut expect = x.mvm(&a).unwrap();
+        expect.extend(x.mvm(&b).unwrap());
+        assert_eq!(out, expect);
+        assert!(x.mvm_batch_into(&packed, 0, &mut out).is_err());
+        assert!(x.mvm_batch_into(&packed[1..], 2, &mut out).is_err());
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! The execution engine: runs a mapping plan on real tensors.
 
-use crate::crossbar::Crossbar;
 use crate::metrics::RunStats;
-use crate::{Result, SimError};
+use crate::programmed::ProgrammedStage;
+use crate::Result;
 use pim_arch::energy::EnergyModel;
-use pim_mapping::layout::{SmdLayout, TileLayout};
-use pim_mapping::schedule::pw_positions;
-use pim_mapping::{MappingAlgorithm, MappingPlan};
+use pim_mapping::MappingPlan;
 use pim_nets::ConvLayer;
 use pim_tensor::{Conv2dParams, Scalar, Tensor3, Tensor4};
 
@@ -68,6 +66,12 @@ impl Engine {
         Self { energy }
     }
 
+    /// The engine's energy model (used when replaying analytical
+    /// counters for a pre-programmed stage).
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
     /// Executes `plan` on the given input feature map and weight bank.
     ///
     /// The number of analog MVMs performed equals the plan's predicted
@@ -75,256 +79,28 @@ impl Engine {
     /// output equals the reference convolution — exactly, for integer
     /// scalars.
     ///
+    /// Implemented as program-then-stream over a
+    /// [`ProgrammedStage`]: callers executing many inputs against the
+    /// same plan should program once themselves and stream a batch —
+    /// this convenience entry point pays the programming cost per call.
+    ///
     /// # Errors
     ///
-    /// Returns [`SimError`] if tensor dimensions disagree with the
-    /// layer, or the plan's layer is grouped (no cell-level layout).
+    /// Returns [`SimError`](crate::SimError) if tensor dimensions
+    /// disagree with the layer, or the plan's layer has no cell-level
+    /// layout.
     pub fn run<T: Scalar>(
         &self,
         plan: &MappingPlan,
         ifm: &Tensor3<T>,
         weights: &Tensor4<T>,
     ) -> Result<SimRun<T>> {
-        let layer = plan.layer();
-        if ifm.dims() != (layer.in_channels(), layer.input_h(), layer.input_w()) {
-            return Err(SimError::new(format!(
-                "input {:?} does not match layer {:?}",
-                ifm.dims(),
-                (layer.in_channels(), layer.input_h(), layer.input_w())
-            )));
-        }
-        if weights.dims()
-            != (
-                layer.out_channels(),
-                layer.in_channels_per_group(),
-                layer.kernel_h(),
-                layer.kernel_w(),
-            )
-        {
-            return Err(SimError::new(format!(
-                "weights {:?} do not match layer kernel {:?}",
-                weights.dims(),
-                (
-                    layer.out_channels(),
-                    layer.in_channels_per_group(),
-                    layer.kernel_h(),
-                    layer.kernel_w()
-                )
-            )));
-        }
-        if layer.groups() > 1 {
-            return self.run_grouped(plan, ifm, weights);
-        }
-        plan.check_layout_supported()?;
-        if plan.algorithm() == MappingAlgorithm::Smd && plan.duplication() > 1 {
-            self.run_smd(plan, ifm, weights)
-        } else {
-            self.run_windowed(plan, ifm, weights)
-        }
-    }
-
-    /// Executes a grouped (possibly depthwise) layer: each channel
-    /// group is a dense convolution mapped with the same algorithm on
-    /// the same array, run independently, and written into its slice of
-    /// the output. The cost model maps groups sequentially (per-group
-    /// cycles × `groups`), and the per-group plan is the dense plan of
-    /// the per-group shape, so the summed executed cycles equal the
-    /// grouped plan's prediction — asserted here as a consistency
-    /// guard.
-    fn run_grouped<T: Scalar>(
-        &self,
-        plan: &MappingPlan,
-        ifm: &Tensor3<T>,
-        weights: &Tensor4<T>,
-    ) -> Result<SimRun<T>> {
-        let layer = plan.layer();
-        let groups = layer.groups();
-        let icg = layer.in_channels_per_group();
-        let ocg = layer.out_channels_per_group();
-        let sub_layer = ConvLayer::builder(layer.name())
-            .input(layer.input_h(), layer.input_w())
-            .kernel(layer.kernel_h(), layer.kernel_w())
-            .channels(icg, ocg)
-            .stride(layer.stride())
-            .padding(layer.padding())
-            .dilation(layer.dilation())
-            .build()
-            .map_err(|e| SimError::new(e.to_string()))?;
-        let sub_plan = plan.algorithm().plan(&sub_layer, plan.array())?;
-        if sub_plan.cycles() * groups as u64 != plan.cycles() {
-            return Err(SimError::new(format!(
-                "grouped plan predicts {} cycles but {} groups x {} per-group cycles disagree",
-                plan.cycles(),
-                groups,
-                sub_plan.cycles()
-            )));
-        }
-        let (oh, ow) = layer.output_dims();
-        let (h, w) = (layer.input_h(), layer.input_w());
-        let (kh, kw) = (layer.kernel_h(), layer.kernel_w());
-        let mut out = Tensor3::zeros(layer.out_channels(), oh, ow);
         let mut stats = RunStats::new();
-        for g in 0..groups {
-            let mut gin = Tensor3::zeros(icg, h, w);
-            for c in 0..icg {
-                for y in 0..h {
-                    for x in 0..w {
-                        gin.set(c, y, x, ifm.get(g * icg + c, y, x));
-                    }
-                }
-            }
-            let mut gw = Tensor4::zeros(ocg, icg, kh, kw);
-            for o in 0..ocg {
-                for c in 0..icg {
-                    for ky in 0..kh {
-                        for kx in 0..kw {
-                            gw.set(o, c, ky, kx, weights.get(g * ocg + o, c, ky, kx));
-                        }
-                    }
-                }
-            }
-            let run = self.run(&sub_plan, &gin, &gw)?;
-            for o in 0..ocg {
-                for y in 0..oh {
-                    for x in 0..ow {
-                        out.set(g * ocg + o, y, x, run.ofm().get(o, y, x));
-                    }
-                }
-            }
-            stats.absorb(run.stats());
-        }
-        Ok(SimRun { ofm: out, stats })
-    }
-
-    fn run_windowed<T: Scalar>(
-        &self,
-        plan: &MappingPlan,
-        ifm: &Tensor3<T>,
-        weights: &Tensor4<T>,
-    ) -> Result<SimRun<T>> {
-        let layer = plan.layer();
-        let (oh, ow) = layer.output_dims();
-        let pad = layer.padding() as isize;
-        let mut out = Tensor3::zeros(layer.out_channels(), oh, ow);
-        let mut stats = RunStats::new();
-
-        let positions = pw_positions(plan);
-        // Clamped edge positions re-cover some windows; give each window a
-        // unique owning position so partial sums accumulate exactly once.
-        let (wpp_x, wpp_y) = pim_mapping::schedule::windows_per_pw(plan);
-        let mut owner = vec![usize::MAX; oh * ow];
-        for (pidx, pos) in positions.iter().enumerate() {
-            for wy in 0..wpp_y {
-                for wx in 0..wpp_x {
-                    let slot = &mut owner[(pos.first_win_y + wy) * ow + pos.first_win_x + wx];
-                    if *slot == usize::MAX {
-                        *slot = pidx;
-                    }
-                }
-            }
-        }
-
-        let mut input = Vec::new();
-        for t in 0..plan.ar_cycles() {
-            for u in 0..plan.ac_cycles() {
-                let layout = TileLayout::build(plan, t, u)?;
-                let mut xbar = Crossbar::new(layout.rows_used(), layout.cols_used());
-                xbar.program_layout(layout.cells(), weights)?;
-                stats.record_programming();
-                for (pidx, pos) in positions.iter().enumerate() {
-                    input.clear();
-                    for src in layout.row_sources() {
-                        let iy = pos.origin_y as isize + src.dy as isize - pad;
-                        let ix = pos.origin_x as isize + src.dx as isize - pad;
-                        input.push(ifm.get_padded(src.ic, iy, ix));
-                    }
-                    let result = xbar.mvm(&input)?;
-                    stats.record_cycle(
-                        &self.energy,
-                        layout.rows_used(),
-                        layout.cols_used(),
-                        layout.used_cells(),
-                    );
-                    for (col, sink) in layout.col_sinks().iter().enumerate() {
-                        let gy = pos.first_win_y + sink.wy;
-                        let gx = pos.first_win_x + sink.wx;
-                        if owner[gy * ow + gx] == pidx {
-                            out.add_assign_at(sink.oc, gy, gx, result[col]);
-                        }
-                    }
-                }
-            }
-        }
-        Ok(SimRun { ofm: out, stats })
-    }
-
-    fn run_smd<T: Scalar>(
-        &self,
-        plan: &MappingPlan,
-        ifm: &Tensor3<T>,
-        weights: &Tensor4<T>,
-    ) -> Result<SimRun<T>> {
-        let layer = plan.layer();
-        let (oh, ow) = layer.output_dims();
-        let pad = layer.padding() as isize;
-        let stride = layer.stride();
-        let mut out = Tensor3::zeros(layer.out_channels(), oh, ow);
-        let mut stats = RunStats::new();
-
-        let layout = SmdLayout::build(plan)?;
-        let mut xbar = Crossbar::new(layout.rows_used(), layout.cols_used());
-        xbar.program_layout(layout.cells(), weights)?;
-        stats.record_programming();
-
-        let d = layout.duplication();
-        let n_windows = (oh * ow) as u64;
-        let (kw, kh) = (layer.kernel_w(), layer.kernel_h());
-        let ic = layer.in_channels();
-        let oc = layer.out_channels();
-        let mut input = vec![T::ZERO; layout.rows_used()];
-        let mut cycle_start = 0u64;
-        while cycle_start < n_windows {
-            input.fill(T::ZERO);
-            for copy in 0..d {
-                let w_idx = cycle_start + copy as u64;
-                if w_idx >= n_windows {
-                    continue;
-                }
-                let gy = (w_idx as usize) / ow;
-                let gx = (w_idx as usize) % ow;
-                let mut row = copy * layout.kernel_rows();
-                for c in 0..ic {
-                    for ky in 0..kh {
-                        for kx in 0..kw {
-                            let iy = (gy * stride + ky * layer.dilation()) as isize - pad;
-                            let ix = (gx * stride + kx * layer.dilation()) as isize - pad;
-                            input[row] = ifm.get_padded(c, iy, ix);
-                            row += 1;
-                        }
-                    }
-                }
-            }
-            let result = xbar.mvm(&input)?;
-            stats.record_cycle(
-                &self.energy,
-                layout.rows_used(),
-                layout.cols_used(),
-                layout.used_cells(),
-            );
-            for copy in 0..d {
-                let w_idx = cycle_start + copy as u64;
-                if w_idx >= n_windows {
-                    continue;
-                }
-                let gy = (w_idx as usize) / ow;
-                let gx = (w_idx as usize) % ow;
-                for o in 0..oc {
-                    out.add_assign_at(o, gy, gx, result[copy * oc + o]);
-                }
-            }
-            cycle_start += d as u64;
-        }
-        Ok(SimRun { ofm: out, stats })
+        let stage = ProgrammedStage::program(plan, weights, &mut stats)?;
+        stage.stream_stats(&self.energy, &mut stats);
+        let mut ofms = stage.stream_batch(std::slice::from_ref(ifm))?;
+        let ofm = ofms.pop().expect("one output per streamed input");
+        Ok(SimRun { ofm, stats })
     }
 }
 
@@ -332,6 +108,7 @@ impl Engine {
 mod tests {
     use super::*;
     use pim_arch::PimArray;
+    use pim_mapping::MappingAlgorithm;
     use pim_tensor::{conv2d_direct, gen};
 
     fn arr(r: usize, c: usize) -> PimArray {

@@ -19,11 +19,14 @@
 //! device-realism extension.
 //!
 //! Beyond single layers, the [`network`] module executes *whole
-//! networks*: [`NetworkExecutor`] streams one input feature map through
-//! every stage of a deployed network (convolution on the crossbars,
-//! ReLU/pooling in the digital periphery) and [`simulate_network`]
-//! proves the result bit-exact against the `pim-tensor` reference
-//! forward pass while cross-checking executed against predicted cycles.
+//! networks*: [`NetworkExecutor`] programs every stage of a deployed
+//! network once ([`ProgrammedStage`]) and streams input feature maps
+//! through the programmed state (convolution on the crossbars,
+//! ReLU/pooling in the digital periphery) — one input via `execute`, a
+//! whole batch via `execute_batch`, bit-identically. [`simulate_network`]
+//! and [`simulate_network_batch`] prove every result bit-exact against
+//! the `pim-tensor` reference forward pass while cross-checking
+//! executed against predicted cycles.
 //!
 //! # Example
 //!
@@ -53,6 +56,7 @@ mod crossbar;
 mod engine;
 pub mod metrics;
 pub mod network;
+pub mod programmed;
 pub mod quant;
 pub mod verify;
 
@@ -60,10 +64,11 @@ pub use crossbar::Crossbar;
 pub use engine::{layer_params, Engine, SimRun};
 pub use metrics::RunStats;
 pub use network::{
-    simulate_deployment, simulate_network, NetworkExecutor, NetworkRun, SimulationReport,
-    StageExecution,
+    simulate_deployment, simulate_deployment_batch, simulate_network, simulate_network_batch,
+    BatchRun, NetworkExecutor, NetworkRun, SimulationReport, StageExecution,
 };
 pub use pim_tensor::ExecMode;
+pub use programmed::ProgrammedStage;
 
 use std::error::Error;
 use std::fmt;

@@ -23,12 +23,15 @@
 //!   `compute_cycles` the chip-level `DeploymentReport` advertises.
 
 use crate::engine::Engine;
+use crate::metrics::RunStats;
+use crate::programmed::ProgrammedStage;
 use crate::{Result, SimError};
 use pim_chip::allocate::Deployment;
 use pim_mapping::{MappingAlgorithm, MappingPlan};
 use pim_nets::Network;
 use pim_tensor::forward::{self, ExecMode};
 use pim_tensor::{gen, ops, Scalar, Tensor3, Tensor4};
+use std::num::NonZeroUsize;
 
 /// Execution record of one pipeline stage (= one convolutional layer).
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +105,66 @@ impl<T> NetworkRun<T> {
     }
 }
 
+/// The result of executing a network on a batch of inputs: one output
+/// feature map per input plus batch-aggregated per-stage records (see
+/// [`NetworkExecutor::execute_batch`] for the aggregation semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRun<T> {
+    ofms: Vec<Tensor3<T>>,
+    stages: Vec<StageExecution>,
+}
+
+impl<T> BatchRun<T> {
+    /// The final output feature maps, in input order.
+    pub fn ofms(&self) -> &[Tensor3<T>] {
+        &self.ofms
+    }
+
+    /// The number of inputs streamed.
+    pub fn batch(&self) -> usize {
+        self.ofms.len()
+    }
+
+    /// Batch-aggregated per-stage execution records, in network order.
+    pub fn stages(&self) -> &[StageExecution] {
+        &self.stages
+    }
+
+    /// Total executed computing cycles across all stages and inputs.
+    pub fn executed_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.executed_cycles).sum()
+    }
+
+    /// Total predicted cycles (per-plan predictions × batch).
+    pub fn predicted_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.predicted_cycles).sum()
+    }
+
+    /// `true` when every stage executed exactly its predicted cycles.
+    pub fn cycles_match(&self) -> bool {
+        self.stages.iter().all(StageExecution::cycles_match)
+    }
+
+    /// Consumes the run, returning the output feature maps.
+    pub fn into_ofms(self) -> Vec<Tensor3<T>> {
+        self.ofms
+    }
+}
+
+/// Resolves a `jobs` request against the batch size: `0` means all
+/// available cores, and the worker count never exceeds the number of
+/// batch elements (matching the planning engine's convention).
+fn effective_jobs(jobs: usize, tasks: usize) -> usize {
+    let requested = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    requested.min(tasks).max(1)
+}
+
 /// Executes whole networks on the crossbar engine; see the
 /// [module docs](self).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -151,13 +214,190 @@ impl NetworkExecutor {
         ifm: &Tensor3<T>,
         weights: &[Tensor4<T>],
     ) -> Result<NetworkRun<T>> {
-        if plans.len() != network.len() || weights.len() != network.len() {
+        self.check_execution_inputs(network, plans, weights.len())?;
+        let mut stages = Vec::with_capacity(network.len());
+        let mut current = ifm.clone();
+        for (i, layer) in network.layers().iter().enumerate() {
+            let mut stats = RunStats::new();
+            let stage = ProgrammedStage::program(&plans[i], &weights[i], &mut stats)?;
+            stage.stream_stats(self.engine.energy_model(), &mut stats);
+            let mut ofms = stage.stream_batch(std::slice::from_ref(&current))?;
+            let ofm = ofms.pop().expect("one output per streamed input");
+            stages.push(StageExecution {
+                layer: layer.name().to_string(),
+                algorithm: plans[i].algorithm(),
+                descriptor: plans[i].descriptor(),
+                predicted_cycles: plans[i].cycles(),
+                executed_cycles: stats.computing_cycles,
+                macs: stats.macs,
+                adc_conversions: stats.adc_conversions,
+                dac_conversions: stats.dac_conversions,
+                array_programmings: stats.array_programmings,
+                energy_pj: stats.energy_pj(),
+            });
+            current = self.apply_stage_ops(network, i, ofm)?;
+        }
+        Ok(NetworkRun {
+            ofm: current,
+            stages,
+        })
+    }
+
+    /// Executes `network` on a whole **batch** of input feature maps,
+    /// programming every stage's crossbars exactly once (the *program
+    /// phase*) and then streaming all inputs through the programmed
+    /// pipeline (the *stream phase*).
+    ///
+    /// The batch is split into contiguous shards processed by up to
+    /// `jobs` worker threads (`0` = all available cores, clamped to the
+    /// batch size); each worker streams its shard stage by stage, so
+    /// every programmed crossbar row is read once per shard-MVM rather
+    /// than once per input. Crossbar state is shared read-only; results
+    /// are reassembled in input order, and each output is bit-identical
+    /// to what [`NetworkExecutor::execute`] produces for that input
+    /// alone — regardless of `jobs`.
+    ///
+    /// The returned per-stage records aggregate over the batch:
+    /// `array_programmings` is counted **once per deployment**, while
+    /// cycles, MACs, conversions and energy are per-input counters
+    /// multiplied by the batch size (they depend only on the plan
+    /// geometry, keeping reports deterministic and shard-independent).
+    /// `predicted_cycles` is scaled by the batch size too, so
+    /// [`StageExecution::cycles_match`] retains its meaning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] under the same conditions as
+    /// [`NetworkExecutor::execute`], or for an empty batch.
+    pub fn execute_batch<T: Scalar + Send + Sync>(
+        &self,
+        network: &Network,
+        plans: &[MappingPlan],
+        ifms: &[Tensor3<T>],
+        weights: &[Tensor4<T>],
+        jobs: usize,
+    ) -> Result<BatchRun<T>> {
+        self.check_execution_inputs(network, plans, weights.len())?;
+        let batch = ifms.len();
+        if batch == 0 {
+            return Err(SimError::new("cannot execute an empty batch"));
+        }
+        // Program phase: every crossbar built and programmed once.
+        let mut program_stats = Vec::with_capacity(network.len());
+        let mut programmed = Vec::with_capacity(network.len());
+        for (plan, bank) in plans.iter().zip(weights) {
+            let mut stats = RunStats::new();
+            programmed.push(ProgrammedStage::program(plan, bank, &mut stats)?);
+            program_stats.push(stats);
+        }
+        // Per-input analytical stream counters (input-independent).
+        let stream_stats: Vec<RunStats> = programmed
+            .iter()
+            .map(|stage| {
+                let mut stats = RunStats::new();
+                stage.stream_stats(self.engine.energy_model(), &mut stats);
+                stats
+            })
+            .collect();
+        // Stream phase: contiguous batch shards across worker threads.
+        let workers = effective_jobs(jobs, batch);
+        let ofms = if workers <= 1 {
+            self.stream_shard(network, &programmed, ifms)?
+        } else {
+            let programmed = &programmed;
+            std::thread::scope(|scope| -> Result<Vec<Tensor3<T>>> {
+                let mut handles = Vec::with_capacity(workers);
+                let base = batch / workers;
+                let extra = batch % workers;
+                let mut lo = 0;
+                for w in 0..workers {
+                    let hi = lo + base + usize::from(w < extra);
+                    let shard = &ifms[lo..hi];
+                    handles
+                        .push(scope.spawn(move || self.stream_shard(network, programmed, shard)));
+                    lo = hi;
+                }
+                let mut all = Vec::with_capacity(batch);
+                for handle in handles {
+                    all.extend(handle.join().expect("stream worker panicked")?);
+                }
+                Ok(all)
+            })?
+        };
+        let b = batch as u64;
+        let stages = network
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                let ps = &program_stats[i];
+                let ss = &stream_stats[i];
+                StageExecution {
+                    layer: layer.name().to_string(),
+                    algorithm: plans[i].algorithm(),
+                    descriptor: plans[i].descriptor(),
+                    predicted_cycles: plans[i].cycles() * b,
+                    executed_cycles: ps.computing_cycles + ss.computing_cycles * b,
+                    macs: ps.macs + ss.macs * b,
+                    adc_conversions: ps.adc_conversions + ss.adc_conversions * b,
+                    dac_conversions: ps.dac_conversions + ss.dac_conversions * b,
+                    array_programmings: ps.array_programmings,
+                    energy_pj: ps.energy_pj() + ss.energy_pj() * batch as f64,
+                }
+            })
+            .collect();
+        Ok(BatchRun { ofms, stages })
+    }
+
+    /// Streams one contiguous shard of the batch through every
+    /// programmed stage in order, applying the inter-stage digital
+    /// operators per element.
+    fn stream_shard<T: Scalar>(
+        &self,
+        network: &Network,
+        programmed: &[ProgrammedStage<T>],
+        ifms: &[Tensor3<T>],
+    ) -> Result<Vec<Tensor3<T>>> {
+        let mut current: Vec<Tensor3<T>> = ifms.to_vec();
+        for (i, stage) in programmed.iter().enumerate() {
+            current = stage
+                .stream_batch(&current)?
+                .into_iter()
+                .map(|ofm| self.apply_stage_ops(network, i, ofm))
+                .collect::<Result<Vec<_>>>()?;
+        }
+        Ok(current)
+    }
+
+    /// Applies stage `i`'s digital inter-layer operators (plus the
+    /// quantized mode's requantization) to one output feature map.
+    fn apply_stage_ops<T: Scalar>(
+        &self,
+        network: &Network,
+        i: usize,
+        ofm: Tensor3<T>,
+    ) -> Result<Tensor3<T>> {
+        let after_ops = forward::apply_ops(network.ops_after(i), ofm)?;
+        Ok(if self.mode == ExecMode::Quantized {
+            ops::requant8(&after_ops)
+        } else {
+            after_ops
+        })
+    }
+
+    fn check_execution_inputs(
+        &self,
+        network: &Network,
+        plans: &[MappingPlan],
+        weight_banks: usize,
+    ) -> Result<()> {
+        if plans.len() != network.len() || weight_banks != network.len() {
             return Err(SimError::new(format!(
                 "network {:?} has {} layers but {} plans / {} weight banks were given",
                 network.name(),
                 network.len(),
                 plans.len(),
-                weights.len()
+                weight_banks
             )));
         }
         network
@@ -172,34 +412,7 @@ impl NetworkExecutor {
                 )));
             }
         }
-        let mut stages = Vec::with_capacity(network.len());
-        let mut current = ifm.clone();
-        for (i, layer) in network.layers().iter().enumerate() {
-            let run = self.engine.run(&plans[i], &current, &weights[i])?;
-            let stats = run.stats();
-            stages.push(StageExecution {
-                layer: layer.name().to_string(),
-                algorithm: plans[i].algorithm(),
-                descriptor: plans[i].descriptor(),
-                predicted_cycles: plans[i].cycles(),
-                executed_cycles: stats.computing_cycles,
-                macs: stats.macs,
-                adc_conversions: stats.adc_conversions,
-                dac_conversions: stats.dac_conversions,
-                array_programmings: stats.array_programmings,
-                energy_pj: stats.energy_pj(),
-            });
-            let after_ops = forward::apply_ops(network.ops_after(i), run.into_ofm())?;
-            current = if self.mode == ExecMode::Quantized {
-                ops::requant8(&after_ops)
-            } else {
-                after_ops
-            };
-        }
-        Ok(NetworkRun {
-            ofm: current,
-            stages,
-        })
+        Ok(())
     }
 
     /// Executes a chip [`Deployment`]'s plans end to end (the
@@ -238,9 +451,13 @@ pub struct SimulationReport {
     pub seed: u64,
     /// Inter-stage execution mode.
     pub mode: ExecMode,
-    /// Per-stage execution records.
+    /// Number of input feature maps streamed through the programmed
+    /// pipeline (1 for single-input simulation).
+    pub batch: usize,
+    /// Per-stage execution records (batch-aggregated when `batch > 1`).
     pub stages: Vec<StageExecution>,
-    /// Output elements compared against the reference forward pass.
+    /// Output elements compared against the reference forward pass,
+    /// summed over the batch.
     pub elements: usize,
     /// Mismatching elements (0 when bit-exact).
     pub mismatches: usize,
@@ -292,6 +509,13 @@ fn weight_seed(seed: u64, index: usize) -> u64 {
         .wrapping_add(index as u64 + 1)
 }
 
+/// The deterministic per-batch-element input seed. Element 0 uses
+/// `seed` unchanged, so a batch-1 simulation generates byte-identical
+/// tensors to the single-input path.
+fn ifm_seed(seed: u64, element: usize) -> u64 {
+    seed.wrapping_add((element as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Simulates a network end to end on deterministic pseudo-random
 /// tensors and cross-checks it against the reference forward pass.
 ///
@@ -311,14 +535,39 @@ pub fn simulate_network(
     seed: u64,
     mode: ExecMode,
 ) -> Result<SimulationReport> {
+    simulate_network_batch(network, plans, seed, mode, 1, 1)
+}
+
+/// Batched [`simulate_network`]: programs the deployment once, streams
+/// `batch` deterministic input feature maps through it with up to
+/// `jobs` worker threads (`0` = all cores), and cross-checks **every**
+/// element against its own reference forward pass. Batch element 0 uses
+/// `seed` itself, so `batch == 1` reproduces [`simulate_network`]
+/// byte for byte.
+///
+/// # Errors
+///
+/// Returns [`SimError`] under the same conditions as
+/// [`simulate_network`], or when `batch == 0`.
+pub fn simulate_network_batch(
+    network: &Network,
+    plans: &[MappingPlan],
+    seed: u64,
+    mode: ExecMode,
+    batch: usize,
+    jobs: usize,
+) -> Result<SimulationReport> {
+    if batch == 0 {
+        return Err(SimError::new("batch must be at least 1"));
+    }
     match mode {
         ExecMode::Exact => {
             check_headroom(network, mode, 120.0)?;
-            simulate_as::<i128>(network, plans, seed, mode)
+            simulate_batch_as::<i128>(network, plans, seed, mode, batch, jobs)
         }
         ExecMode::Quantized => {
             check_headroom(network, mode, 60.0)?;
-            simulate_as::<i64>(network, plans, seed, mode)
+            simulate_batch_as::<i64>(network, plans, seed, mode, batch, jobs)
         }
     }
 }
@@ -337,12 +586,30 @@ pub fn simulate_deployment(
     seed: u64,
     mode: ExecMode,
 ) -> Result<SimulationReport> {
+    simulate_deployment_batch(network, deployment, seed, mode, 1, 1)
+}
+
+/// Batched [`simulate_deployment`] (see [`simulate_network_batch`] for
+/// the batch and `jobs` semantics).
+///
+/// # Errors
+///
+/// Returns [`SimError`] under the same conditions as
+/// [`simulate_network_batch`].
+pub fn simulate_deployment_batch(
+    network: &Network,
+    deployment: &Deployment,
+    seed: u64,
+    mode: ExecMode,
+    batch: usize,
+    jobs: usize,
+) -> Result<SimulationReport> {
     let plans: Vec<MappingPlan> = deployment
         .allocations()
         .iter()
         .map(|alloc| alloc.plan().clone())
         .collect();
-    simulate_network(network, &plans, seed, mode)
+    simulate_network_batch(network, &plans, seed, mode, batch, jobs)
 }
 
 /// Rejects simulations whose worst-case activation magnitudes could
@@ -380,16 +647,27 @@ fn check_headroom(network: &Network, mode: ExecMode, limit_bits: f64) -> Result<
     Ok(())
 }
 
-fn simulate_as<T: Scalar>(
+fn simulate_batch_as<T: Scalar + Send + Sync>(
     network: &Network,
     plans: &[MappingPlan],
     seed: u64,
     mode: ExecMode,
+    batch: usize,
+    jobs: usize,
 ) -> Result<SimulationReport> {
     let Some(first) = network.layers().first() else {
         return Err(SimError::new("cannot simulate an empty network"));
     };
-    let ifm = gen::random3::<T>(first.in_channels(), first.input_h(), first.input_w(), seed);
+    let ifms: Vec<Tensor3<T>> = (0..batch)
+        .map(|i| {
+            gen::random3::<T>(
+                first.in_channels(),
+                first.input_h(),
+                first.input_w(),
+                ifm_seed(seed, i),
+            )
+        })
+        .collect();
     let weights: Vec<Tensor4<T>> = network
         .layers()
         .iter()
@@ -405,15 +683,19 @@ fn simulate_as<T: Scalar>(
         })
         .collect();
     let executor = NetworkExecutor::new().with_mode(mode);
-    let run = executor.execute(network, plans, &ifm, &weights)?;
-    let reference = forward::forward(network, &ifm, &weights, mode)?;
-    let mismatches = run
-        .ofm()
-        .as_slice()
-        .iter()
-        .zip(reference.as_slice())
-        .filter(|(a, b)| a != b)
-        .count();
+    let run = executor.execute_batch(network, plans, &ifms, &weights, jobs)?;
+    let mut elements = 0;
+    let mut mismatches = 0;
+    for (ifm, ofm) in ifms.iter().zip(run.ofms()) {
+        let reference = forward::forward(network, ifm, &weights, mode)?;
+        elements += reference.as_slice().len();
+        mismatches += ofm
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .filter(|(a, b)| a != b)
+            .count();
+    }
     let mut arrays: Vec<String> = plans.iter().map(|p| p.array().to_string()).collect();
     arrays.dedup();
     let array = if arrays.len() == 1 {
@@ -426,8 +708,9 @@ fn simulate_as<T: Scalar>(
         array,
         seed,
         mode,
+        batch,
         stages: run.stages().to_vec(),
-        elements: reference.as_slice().len(),
+        elements,
         mismatches,
     })
 }
@@ -525,6 +808,57 @@ mod tests {
     fn empty_networks_are_rejected() {
         let net = Network::new("empty");
         assert!(simulate_network(&net, &[], 1, ExecMode::Quantized).is_err());
+    }
+
+    #[test]
+    fn batch_simulation_aggregates_and_counts_programmings_once() {
+        let net = zoo::lenet5();
+        let array = PimArray::new(96, 64).unwrap();
+        let plans = plans_for(&net, array, MappingAlgorithm::VwSdk);
+        let single = simulate_network(&net, &plans, 7, ExecMode::Exact).unwrap();
+        let batch = simulate_network_batch(&net, &plans, 7, ExecMode::Exact, 4, 1).unwrap();
+        assert!(batch.is_fully_consistent(), "{batch:?}");
+        assert_eq!(batch.batch, 4);
+        assert_eq!(batch.elements, single.elements * 4);
+        assert_eq!(batch.executed_cycles(), single.executed_cycles() * 4);
+        assert_eq!(batch.predicted_cycles(), single.predicted_cycles() * 4);
+        assert_eq!(batch.total_macs(), single.total_macs() * 4);
+        for (b, s) in batch.stages.iter().zip(&single.stages) {
+            // Weights are programmed once per deployment, not per input.
+            assert_eq!(b.array_programmings, s.array_programmings);
+        }
+    }
+
+    #[test]
+    fn batch_of_one_reproduces_the_single_input_report() {
+        let net = zoo::tiny();
+        let array = PimArray::new(64, 64).unwrap();
+        let plans = plans_for(&net, array, MappingAlgorithm::VwSdk);
+        let single = simulate_network(&net, &plans, 42, ExecMode::Quantized).unwrap();
+        let batch = simulate_network_batch(&net, &plans, 42, ExecMode::Quantized, 1, 1).unwrap();
+        assert_eq!(single, batch);
+    }
+
+    #[test]
+    fn batch_reports_are_jobs_invariant() {
+        let net = zoo::tiny();
+        let array = PimArray::new(64, 64).unwrap();
+        let plans = plans_for(&net, array, MappingAlgorithm::VwSdk);
+        let serial = simulate_network_batch(&net, &plans, 9, ExecMode::Quantized, 5, 1).unwrap();
+        for jobs in [2, 3, 8, 0] {
+            let sharded =
+                simulate_network_batch(&net, &plans, 9, ExecMode::Quantized, 5, jobs).unwrap();
+            assert_eq!(serial, sharded, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_batches_are_rejected() {
+        let net = zoo::tiny();
+        let array = PimArray::new(64, 64).unwrap();
+        let plans = plans_for(&net, array, MappingAlgorithm::VwSdk);
+        let err = simulate_network_batch(&net, &plans, 1, ExecMode::Quantized, 0, 1).unwrap_err();
+        assert!(err.to_string().contains("batch"), "{err}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! Both support stride, zero padding and dilation; [`conv2d_grouped`] adds
 //! grouped/depthwise convolution for the MobileNet-style extension nets.
 
-use crate::matmul::matmul;
+use crate::matmul::matmul_into;
 use crate::{Result, Scalar, ShapeError, Tensor2, Tensor3, Tensor4};
 
 /// Hyper-parameters of a 2-D convolution: stride, zero padding and dilation.
@@ -191,6 +191,22 @@ pub fn im2col_matrix<T: Scalar>(
     let (oh, ow) = params.output_dims(input.height(), input.width(), kh, kw)?;
     let ic = input.channels();
     let mut m = Tensor2::zeros(oh * ow, ic * kh * kw);
+    im2col_fill(&mut m, input, kh, kw, params, oh, ow);
+    Ok(m)
+}
+
+/// Fills a correctly-sized patch matrix in place (the body of
+/// [`im2col_matrix`], shared with the scratch-reusing path).
+fn im2col_fill<T: Scalar>(
+    m: &mut Tensor2<T>,
+    input: &Tensor3<T>,
+    kh: usize,
+    kw: usize,
+    params: Conv2dParams,
+    oh: usize,
+    ow: usize,
+) {
+    let ic = input.channels();
     for oy in 0..oh {
         for ox in 0..ow {
             let r = oy * ow + ox;
@@ -209,7 +225,41 @@ pub fn im2col_matrix<T: Scalar>(
             }
         }
     }
-    Ok(m)
+}
+
+/// Reusable intermediate buffers for [`conv2d_im2col_with`]: the patch
+/// matrix, the flattened weight matrix and the GEMM product.
+///
+/// The im2col lowering allocates three matrices whose combined size
+/// dwarfs the output; callers convolving many inputs (the batched
+/// simulator's reference checks, benchmarks) keep one scratch alive and
+/// pay the allocation once. Buffers are lazily (re)sized, so one
+/// scratch serves convolutions of different shapes.
+#[derive(Debug, Clone, Default)]
+pub struct Im2colScratch<T> {
+    patches: Option<Tensor2<T>>,
+    wmat: Option<Tensor2<T>>,
+    prod: Option<Tensor2<T>>,
+}
+
+impl<T: Scalar> Im2colScratch<T> {
+    /// An empty scratch; buffers materialize on first use.
+    pub fn new() -> Self {
+        Self {
+            patches: None,
+            wmat: None,
+            prod: None,
+        }
+    }
+}
+
+/// Returns a scratch buffer resized to `rows × cols` (reusing the
+/// allocation when the shape already matches).
+fn ensure_shape<T: Scalar>(slot: &mut Option<Tensor2<T>>, rows: usize, cols: usize) {
+    match slot {
+        Some(t) if t.dims() == (rows, cols) => {}
+        _ => *slot = Some(Tensor2::zeros(rows, cols)),
+    }
 }
 
 /// im2col + GEMM convolution; numerically identical to [`conv2d_direct`]
@@ -223,12 +273,31 @@ pub fn conv2d_im2col<T: Scalar>(
     weights: &Tensor4<T>,
     params: Conv2dParams,
 ) -> Result<Tensor3<T>> {
+    conv2d_im2col_with(input, weights, params, &mut Im2colScratch::new())
+}
+
+/// [`conv2d_im2col`] with caller-owned scratch buffers: repeated calls
+/// reuse the patch/weight/product matrices instead of reallocating
+/// them. Results are identical to [`conv2d_im2col`] bit for bit.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] under the same conditions as [`conv2d_direct`].
+pub fn conv2d_im2col_with<T: Scalar>(
+    input: &Tensor3<T>,
+    weights: &Tensor4<T>,
+    params: Conv2dParams,
+    scratch: &mut Im2colScratch<T>,
+) -> Result<Tensor3<T>> {
     check_channels(input, weights)?;
     let (oc, ic, kh, kw) = weights.dims();
     let (oh, ow) = params.output_dims(input.height(), input.width(), kh, kw)?;
-    let patches = im2col_matrix(input, kh, kw, params)?;
+    ensure_shape(&mut scratch.patches, oh * ow, ic * kh * kw);
+    let patches = scratch.patches.as_mut().expect("ensured above");
+    im2col_fill(patches, input, kh, kw, params, oh, ow);
     // Weight matrix: one kernel per column (the crossbar orientation).
-    let mut wmat = Tensor2::zeros(ic * kh * kw, oc);
+    ensure_shape(&mut scratch.wmat, ic * kh * kw, oc);
+    let wmat = scratch.wmat.as_mut().expect("ensured above");
     for o in 0..oc {
         let mut row = 0;
         for c in 0..ic {
@@ -240,7 +309,13 @@ pub fn conv2d_im2col<T: Scalar>(
             }
         }
     }
-    let prod = matmul(&patches, &wmat)?;
+    ensure_shape(&mut scratch.prod, oh * ow, oc);
+    let prod = scratch.prod.as_mut().expect("ensured above");
+    matmul_into(
+        scratch.patches.as_ref().expect("ensured above"),
+        scratch.wmat.as_ref().expect("ensured above"),
+        prod,
+    )?;
     let mut out = Tensor3::zeros(oc, oh, ow);
     for oy in 0..oh {
         for ox in 0..ow {
@@ -410,6 +485,31 @@ mod tests {
         let a = conv2d_direct(&ifm, &w, p).unwrap();
         let b = conv2d_im2col(&ifm, &w, p).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn im2col_scratch_reuse_is_bit_identical() {
+        // One scratch across convolutions of different shapes, with dirty
+        // buffers in between, still matches the fresh-allocation path.
+        let mut scratch = Im2colScratch::new();
+        let big_ifm = gen::random3::<i64>(3, 9, 9, 42);
+        let big_w = gen::random4::<i64>(5, 3, 3, 3, 43);
+        let small_ifm = gen::random3::<i64>(2, 6, 6, 44);
+        let small_w = gen::random4::<i64>(4, 2, 3, 3, 45);
+        for _ in 0..3 {
+            let a =
+                conv2d_im2col_with(&big_ifm, &big_w, Conv2dParams::unit(), &mut scratch).unwrap();
+            assert_eq!(
+                a,
+                conv2d_im2col(&big_ifm, &big_w, Conv2dParams::unit()).unwrap()
+            );
+            let b = conv2d_im2col_with(&small_ifm, &small_w, Conv2dParams::unit(), &mut scratch)
+                .unwrap();
+            assert_eq!(
+                b,
+                conv2d_im2col(&small_ifm, &small_w, Conv2dParams::unit()).unwrap()
+            );
+        }
     }
 
     #[test]

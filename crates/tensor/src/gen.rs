@@ -51,6 +51,13 @@ pub fn ramp4<T: Scalar>(oc: usize, ic: usize, kh: usize, kw: usize) -> Tensor4<T
     Tensor4::from_vec(oc, ic, kh, kw, data).expect("ramp4 length is consistent by construction")
 }
 
+/// A seeded pseudo-random `rows × cols` matrix with values in [-8, 8].
+pub fn random2<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Tensor2<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..rows * cols).map(|_| next_value(&mut rng)).collect();
+    Tensor2::from_vec(rows, cols, data).expect("random2 length is consistent by construction")
+}
+
 /// A seeded pseudo-random `c × h × w` feature map with values in [-8, 8].
 pub fn random3<T: Scalar>(c: usize, h: usize, w: usize, seed: u64) -> Tensor3<T> {
     let mut rng = StdRng::seed_from_u64(seed);

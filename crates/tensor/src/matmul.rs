@@ -1,11 +1,22 @@
-//! Naive dense matrix multiplication.
+//! Dense matrix multiplication and crossbar-style column MVMs.
 //!
-//! Used by the im2col convolution path and by tests that cross-check the
-//! crossbar simulator. Performance is irrelevant here — correctness and
-//! exactness (for integer scalars) are what matter — so the implementation
-//! is the textbook triple loop.
+//! Used by the im2col convolution path and by the crossbar simulator's
+//! hot loop. Correctness and exactness come first: every kernel here
+//! accumulates each output element in ascending inner-index order with
+//! the same skip-zero rule, so the allocation-free (`*_into`) and
+//! batched variants are bit-identical to the textbook loops — for
+//! floats as well as integers. Within that constraint the inner loops
+//! are cache-blocked: [`matmul_into`] tiles the output columns so the
+//! active output slice stays resident, and [`column_mvm_batch_into`]
+//! reuses each weight row across the whole batch (one read of the
+//! matrix per batch instead of one per input vector).
 
 use crate::{Result, Scalar, ShapeError, Tensor2};
+
+/// Output-column block width of [`matmul_into`]: the active output
+/// slice (`BLOCK_COLS` elements) plus one input row stay cache-resident
+/// while the full inner dimension streams by.
+const BLOCK_COLS: usize = 128;
 
 /// Computes the product `a · b` of an `m×k` and a `k×n` matrix.
 ///
@@ -24,6 +35,24 @@ use crate::{Result, Scalar, ShapeError, Tensor2};
 /// assert_eq!(c.as_slice(), &[17, 39]);
 /// ```
 pub fn matmul<T: Scalar>(a: &Tensor2<T>, b: &Tensor2<T>) -> Result<Tensor2<T>> {
+    let mut out = Tensor2::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// Computes `a · b` into a caller-provided output matrix, reusing its
+/// allocation — the allocation-free core of [`matmul`].
+///
+/// The inner loops are blocked over output columns, but every output
+/// element still accumulates its products in ascending inner-index
+/// order with the same skip-zero rule, so the result is bit-identical
+/// to the textbook triple loop (floats included).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the inner dimensions disagree or `out` is
+/// not `a.rows() × b.cols()`.
+pub fn matmul_into<T: Scalar>(a: &Tensor2<T>, b: &Tensor2<T>, out: &mut Tensor2<T>) -> Result<()> {
     if a.cols() != b.rows() {
         return Err(ShapeError::new(format!(
             "matmul inner dims disagree: {}x{} . {}x{}",
@@ -33,21 +62,37 @@ pub fn matmul<T: Scalar>(a: &Tensor2<T>, b: &Tensor2<T>) -> Result<Tensor2<T>> {
             b.cols()
         )));
     }
+    if out.dims() != (a.rows(), b.cols()) {
+        return Err(ShapeError::new(format!(
+            "matmul output must be {}x{}, got {}x{}",
+            a.rows(),
+            b.cols(),
+            out.rows(),
+            out.cols()
+        )));
+    }
     let (m, k) = a.dims();
     let n = b.cols();
-    let mut out = Tensor2::zeros(m, n);
-    for i in 0..m {
-        for p in 0..k {
-            let aip = a.get(i, p);
-            if aip == T::ZERO {
-                continue;
-            }
-            for j in 0..n {
-                out.add_assign_at(i, j, aip * b.get(p, j));
+    out.fill_zero();
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + BLOCK_COLS).min(n);
+        for i in 0..m {
+            let arow = a.row(i);
+            for (p, &aip) in arow.iter().enumerate().take(k) {
+                if aip == T::ZERO {
+                    continue;
+                }
+                let bblk = &b.row(p)[j0..j1];
+                let oblk = &mut out.row_mut(i)[j0..j1];
+                for (acc, &w) in oblk.iter_mut().zip(bblk.iter()) {
+                    *acc += aip * w;
+                }
             }
         }
+        j0 = j1;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Computes the matrix-vector product `a · x`.
@@ -72,6 +117,19 @@ pub fn matmul<T: Scalar>(a: &Tensor2<T>, b: &Tensor2<T>) -> Result<Tensor2<T>> {
 /// assert_eq!(y, vec![310, 420]);
 /// ```
 pub fn column_mvm<T: Scalar>(a: &Tensor2<T>, x: &[T]) -> Result<Vec<T>> {
+    let mut out = Vec::new();
+    column_mvm_into(a, x, &mut out)?;
+    Ok(out)
+}
+
+/// [`column_mvm`] into a caller-provided buffer: `out` is cleared and
+/// resized to `a.cols()`, reusing its allocation — the simulator's
+/// per-MVM hot path allocates nothing.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `x.len() != a.rows()`.
+pub fn column_mvm_into<T: Scalar>(a: &Tensor2<T>, x: &[T], out: &mut Vec<T>) -> Result<()> {
     if x.len() != a.rows() {
         return Err(ShapeError::new(format!(
             "column_mvm expects input of length {}, got {}",
@@ -79,7 +137,8 @@ pub fn column_mvm<T: Scalar>(a: &Tensor2<T>, x: &[T]) -> Result<Vec<T>> {
             x.len()
         )));
     }
-    let mut out = vec![T::ZERO; a.cols()];
+    out.clear();
+    out.resize(a.cols(), T::ZERO);
     for (r, &xr) in x.iter().enumerate() {
         if xr == T::ZERO {
             continue;
@@ -89,7 +148,60 @@ pub fn column_mvm<T: Scalar>(a: &Tensor2<T>, x: &[T]) -> Result<Vec<T>> {
             *acc += xr * w;
         }
     }
-    Ok(out)
+    Ok(())
+}
+
+/// A whole batch of column MVMs against one matrix: `inputs` packs
+/// `batch` row-major input vectors of length `a.rows()`, and `out` is
+/// cleared and resized to `batch × a.cols()` results, packed the same
+/// way.
+///
+/// The loop order visits each matrix row once and applies it to every
+/// batch element while it is cache-resident, so the matrix is read from
+/// memory once per *batch* instead of once per *input vector* — the
+/// data-reuse core of the batched simulator. Each output element still
+/// accumulates in ascending row order with [`column_mvm`]'s skip-zero
+/// rule, so every result is bit-identical to `batch` independent
+/// [`column_mvm`] calls.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `inputs.len() != batch * a.rows()` or
+/// `batch == 0`.
+pub fn column_mvm_batch_into<T: Scalar>(
+    a: &Tensor2<T>,
+    inputs: &[T],
+    batch: usize,
+    out: &mut Vec<T>,
+) -> Result<()> {
+    if batch == 0 {
+        return Err(ShapeError::new("column_mvm batch must be >= 1"));
+    }
+    let rows = a.rows();
+    let cols = a.cols();
+    if inputs.len() != batch * rows {
+        return Err(ShapeError::new(format!(
+            "column_mvm batch of {batch} expects {} packed inputs, got {}",
+            batch * rows,
+            inputs.len()
+        )));
+    }
+    out.clear();
+    out.resize(batch * cols, T::ZERO);
+    for r in 0..rows {
+        let row = a.row(r);
+        for bi in 0..batch {
+            let xr = inputs[bi * rows + r];
+            if xr == T::ZERO {
+                continue;
+            }
+            let acc = &mut out[bi * cols..(bi + 1) * cols];
+            for (slot, &w) in acc.iter_mut().zip(row.iter()) {
+                *slot += xr * w;
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -144,5 +256,95 @@ mod tests {
         let a = Tensor2::from_vec(2, 2, vec![1, 1, 1, 1]).unwrap();
         let y = column_mvm(&a, &[0, 5]).unwrap();
         assert_eq!(y, vec![5, 5]);
+    }
+
+    #[test]
+    fn matmul_into_reuses_dirty_buffers() {
+        let a = Tensor2::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let b = Tensor2::from_vec(3, 2, vec![7, 8, 9, 10, 11, 12]).unwrap();
+        let mut out = Tensor2::from_vec(2, 2, vec![99, 99, 99, 99]).unwrap();
+        matmul_into(&a, &b, &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[58, 64, 139, 154]);
+        let mut wrong: Tensor2<i64> = Tensor2::zeros(3, 2);
+        assert!(matmul_into(&a, &b, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_unblocked_beyond_one_block() {
+        // Wider than BLOCK_COLS so at least two column blocks run.
+        let a = crate::gen::random2::<i64>(7, 19, 31);
+        let b = crate::gen::random2::<i64>(19, 300, 32);
+        let blocked = matmul(&a, &b).unwrap();
+        let mut naive = Tensor2::zeros(7, 300);
+        for i in 0..7 {
+            for p in 0..19 {
+                for j in 0..300 {
+                    naive.add_assign_at(i, j, a.get(i, p) * b.get(p, j));
+                }
+            }
+        }
+        assert_eq!(blocked, naive);
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_for_floats() {
+        // Accumulation order per output element must be unchanged by
+        // blocking, so float results are bitwise equal, not just close.
+        let a = crate::gen::random2::<f64>(5, 23, 33);
+        let b = crate::gen::random2::<f64>(23, 200, 34);
+        let blocked = matmul(&a, &b).unwrap();
+        let mut naive = Tensor2::zeros(5, 200);
+        for i in 0..5 {
+            for p in 0..23 {
+                let aip = a.get(i, p);
+                if aip == 0.0 {
+                    continue;
+                }
+                for j in 0..200 {
+                    naive.add_assign_at(i, j, aip * b.get(p, j));
+                }
+            }
+        }
+        assert_eq!(blocked, naive);
+    }
+
+    #[test]
+    fn column_mvm_into_resizes_and_matches() {
+        let a = Tensor2::from_vec(3, 2, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let x = [7i32, 8, 9];
+        let mut out = vec![42i32; 17];
+        column_mvm_into(&a, &x, &mut out).unwrap();
+        assert_eq!(out, column_mvm(&a, &x).unwrap());
+        assert!(column_mvm_into(&a, &[1, 2], &mut out).is_err());
+    }
+
+    #[test]
+    fn batched_mvm_equals_independent_mvms() {
+        let a = crate::gen::random2::<i64>(13, 9, 77);
+        let batch = 5;
+        let mut inputs = Vec::new();
+        for bi in 0..batch {
+            inputs.extend(crate::gen::random2::<i64>(1, 13, 100 + bi as u64).into_vec());
+        }
+        let mut packed = Vec::new();
+        column_mvm_batch_into(&a, &inputs, batch, &mut packed).unwrap();
+        assert_eq!(packed.len(), batch * 9);
+        for bi in 0..batch {
+            let single = column_mvm(&a, &inputs[bi * 13..(bi + 1) * 13]).unwrap();
+            assert_eq!(
+                &packed[bi * 9..(bi + 1) * 9],
+                single.as_slice(),
+                "lane {bi}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_mvm_validates_packing() {
+        let a: Tensor2<i64> = Tensor2::zeros(4, 3);
+        let mut out = Vec::new();
+        assert!(column_mvm_batch_into(&a, &[0; 8], 2, &mut out).is_ok());
+        assert!(column_mvm_batch_into(&a, &[0; 7], 2, &mut out).is_err());
+        assert!(column_mvm_batch_into(&a, &[], 0, &mut out).is_err());
     }
 }

@@ -116,6 +116,23 @@ impl<T: Scalar> Tensor2<T> {
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
+    /// One full row as a mutable slice (the blocked kernels in
+    /// [`crate::matmul`] accumulate into rows without per-element
+    /// bounds checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        assert!(row < self.rows, "Tensor2 row OOB");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Resets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(T::ZERO);
+    }
+
     /// Consumes the matrix, returning the backing vector.
     pub fn into_vec(self) -> Vec<T> {
         self.data
