@@ -20,6 +20,7 @@
 //! | [`chip`] | A7: chip-scale pipelined deployment |
 //! | [`sweep`] | A4: extra networks × array sizes (via the parallel, memoized `PlanningEngine`) |
 //! | [`simbench`] | A8: batched-simulation MACs/s trajectory (`BENCH_sim.json`) |
+//! | [`servebench`] | A9: loopback serving RPS/latency + telemetry-overhead gate (`BENCH_serve.json`) |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -33,6 +34,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod precision;
+pub mod servebench;
 pub mod simbench;
 pub mod sweep;
 pub mod table1;

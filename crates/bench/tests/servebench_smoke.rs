@@ -1,0 +1,44 @@
+//! End-to-end serve bench in its own process: `servebench::run` flips
+//! the process-global `pim_telemetry::set_enabled` switch during the
+//! overhead probe, which would race any other test recording
+//! concurrently — hence a dedicated integration binary.
+
+use vw_sdk_bench::servebench::{run, ServeBenchOptions};
+
+#[test]
+fn loopback_smoke_measures_and_passes_the_request_gate() {
+    let options = ServeBenchOptions {
+        requests: 24,
+        concurrency: 3,
+        quick: true,
+        ..ServeBenchOptions::default()
+    };
+    let report = run(&options).expect("bench runs");
+    assert_eq!(
+        report.ok, 24,
+        "errors={} sheds={}",
+        report.errors, report.sheds
+    );
+    assert_eq!(report.errors, 0);
+    assert!(report.rps > 0.0);
+    // Every request landed in the latency histogram delta, so the
+    // quantiles are real measurements, not defaults.
+    assert!(report.p50_ms > 0.0 && report.p99_ms >= report.p50_ms);
+    assert!(report.overhead.enabled_seconds > 0.0);
+    assert!(report.to_json().contains("\"ok\": 24"));
+    // The request-side gate must hold on loopback; the overhead gate is
+    // asserted by CI's release-mode `--check` run, not here — a debug
+    // build under a parallel test harness is too noisy to pin to 2%.
+    assert_eq!(
+        report
+            .check_failures()
+            .iter()
+            .filter(|f| !f.contains("overhead"))
+            .count(),
+        0,
+        "{:?}",
+        report.check_failures()
+    );
+    // Telemetry is back on for whoever runs next in this process.
+    assert!(pim_telemetry::enabled());
+}

@@ -105,6 +105,10 @@ pub struct PlanningEngine {
     searches: SearchCache,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    /// Watermarks of `plan_hits` / `plan_misses` already published to
+    /// the process-wide telemetry counters; see `mirror_plan_cache`.
+    mirrored_hits: AtomicU64,
+    mirrored_misses: AtomicU64,
 }
 
 impl Default for PlanningEngine {
@@ -129,6 +133,8 @@ impl PlanningEngine {
             searches: SearchCache::new(),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
+            mirrored_hits: AtomicU64::new(0),
+            mirrored_misses: AtomicU64::new(0),
         }
     }
 
@@ -173,6 +179,24 @@ impl PlanningEngine {
         array: PimArray,
         algorithm: MappingAlgorithm,
     ) -> Result<MappingPlan> {
+        let plan = self.plan_uncounted(layer, array, algorithm);
+        self.mirror_plan_cache();
+        plan
+    }
+
+    /// The planning workhorse behind every batch API: identical to
+    /// [`PlanningEngine::plan`] except that it only touches the
+    /// engine's own relaxed counters. Batch entry points call this in
+    /// their hot loops and publish the accumulated cache activity to
+    /// the process-wide telemetry counters once, at the batch boundary
+    /// (`mirror_plan_cache`) — a cached sweep iteration costs two
+    /// atomic adds total, not two per planned layer-algorithm pair.
+    fn plan_uncounted(
+        &self,
+        layer: &ConvLayer,
+        array: PimArray,
+        algorithm: MappingAlgorithm,
+    ) -> Result<MappingPlan> {
         let key = PlanKey {
             shape: layer.shape(),
             array,
@@ -196,6 +220,34 @@ impl PlanningEngine {
             .expect("plan cache lock poisoned")
             .insert(key, plan.clone());
         Ok(plan)
+    }
+
+    /// Publishes plan-cache activity since the last flush to the
+    /// process-wide `pim_plan_cache_*_total` counters.
+    ///
+    /// A `fetch_max` watermark per family makes concurrent flushes
+    /// race-free: whichever call advances the watermark publishes
+    /// exactly the range it claimed, so events are counted once no
+    /// matter how many batch APIs finish simultaneously. Activity on an
+    /// error path is not lost, only deferred to the next flush.
+    fn mirror_plan_cache(&self) {
+        fn flush(source: &AtomicU64, watermark: &AtomicU64, counter: &pim_telemetry::Counter) {
+            let current = source.load(Ordering::Relaxed);
+            let last = watermark.fetch_max(current, Ordering::Relaxed);
+            if current > last {
+                counter.add(current - last);
+            }
+        }
+        flush(
+            &self.plan_hits,
+            &self.mirrored_hits,
+            plan_cache_counter("hits"),
+        );
+        flush(
+            &self.plan_misses,
+            &self.mirrored_misses,
+            plan_cache_counter("misses"),
+        );
     }
 
     /// Plans one layer under every configured algorithm.
@@ -222,9 +274,23 @@ impl PlanningEngine {
         array: PimArray,
         algorithms: &[MappingAlgorithm],
     ) -> Result<LayerComparison> {
+        let comparison = self.compare_layer(layer, array, algorithms);
+        self.mirror_plan_cache();
+        comparison
+    }
+
+    /// [`PlanningEngine::plan_layer_with`] minus the telemetry flush —
+    /// the per-task body batch APIs fan out over (they flush once at
+    /// the batch boundary instead).
+    fn compare_layer(
+        &self,
+        layer: &ConvLayer,
+        array: PimArray,
+        algorithms: &[MappingAlgorithm],
+    ) -> Result<LayerComparison> {
         let mut plans = Vec::with_capacity(algorithms.len());
         for &algorithm in algorithms {
-            plans.push(self.plan(layer, array, algorithm)?);
+            plans.push(self.plan_uncounted(layer, array, algorithm)?);
         }
         Ok(LayerComparison::from_parts(layer.clone(), plans))
     }
@@ -244,9 +310,15 @@ impl PlanningEngine {
         algorithms: &[MappingAlgorithm],
     ) -> Result<NetworkReport> {
         let tasks: Vec<&ConvLayer> = network.layers().iter().collect();
+        let _span = pim_telemetry::span!(
+            "engine.plan_network",
+            jobs = self.effective_jobs(tasks.len()),
+            layers = tasks.len()
+        );
         let planned = self.parallel_map(&tasks, |&layer| {
-            self.plan_layer_with(layer, array, algorithms)
+            self.compare_layer(layer, array, algorithms)
         });
+        self.mirror_plan_cache();
         let mut layers = Vec::with_capacity(network.len());
         for comparison in planned {
             layers.push(comparison?);
@@ -307,7 +379,17 @@ impl PlanningEngine {
                 }
             }
         }
-        let planned = self.parallel_map(&tasks, |&(layer, array)| self.plan_layer(layer, array));
+        let _span = pim_telemetry::span!(
+            "engine.sweep_arrays",
+            jobs = self.effective_jobs(tasks.len()),
+            networks = networks.len(),
+            arrays = arrays.len(),
+            tasks = tasks.len()
+        );
+        let planned = self.parallel_map(&tasks, |&(layer, array)| {
+            self.compare_layer(layer, array, &self.algorithms)
+        });
+        self.mirror_plan_cache();
 
         let mut results = planned.into_iter();
         let mut reports = Vec::with_capacity(networks.len() * arrays.len());
@@ -372,9 +454,16 @@ impl PlanningEngine {
                 tasks.push((layer, algorithm));
             }
         }
+        let _span = pim_telemetry::span!(
+            "engine.deploy_network",
+            jobs = self.effective_jobs(tasks.len()),
+            layers = network.len(),
+            algorithms = algorithms.len()
+        );
         let planned = self.parallel_map(&tasks, |&(layer, algorithm)| {
-            self.plan(layer, chip.array(), algorithm)
+            self.plan_uncounted(layer, chip.array(), algorithm)
         });
+        self.mirror_plan_cache();
         let mut results = planned.into_iter();
         let mut candidates = Vec::with_capacity(network.len());
         for _ in 0..network.len() {
@@ -440,7 +529,15 @@ impl PlanningEngine {
     ) -> Result<pim_sim::SimulationReport> {
         network.check_chain()?;
         let tasks: Vec<&ConvLayer> = network.layers().iter().collect();
-        let planned = self.parallel_map(&tasks, |&layer| self.plan(layer, array, algorithm));
+        let _span = pim_telemetry::span!(
+            "engine.simulate_network",
+            jobs = self.effective_jobs(tasks.len()),
+            layers = tasks.len()
+        );
+        let planned = self.parallel_map(&tasks, |&layer| {
+            self.plan_uncounted(layer, array, algorithm)
+        });
+        self.mirror_plan_cache();
         let mut plans = Vec::with_capacity(network.len());
         for plan in planned {
             plans.push(plan?);
@@ -505,7 +602,16 @@ impl PlanningEngine {
     ) -> Result<pim_sim::SimulationReport> {
         network.check_chain()?;
         let tasks: Vec<&ConvLayer> = network.layers().iter().collect();
-        let planned = self.parallel_map(&tasks, |&layer| self.plan(layer, array, algorithm));
+        let _span = pim_telemetry::span!(
+            "engine.simulate_network_batch",
+            jobs = self.effective_jobs(tasks.len()),
+            layers = tasks.len(),
+            batch = batch
+        );
+        let planned = self.parallel_map(&tasks, |&layer| {
+            self.plan_uncounted(layer, array, algorithm)
+        });
+        self.mirror_plan_cache();
         let mut plans = Vec::with_capacity(network.len());
         for plan in planned {
             plans.push(plan?);
@@ -605,6 +711,30 @@ impl PlanningEngine {
             .expect("result collection lock poisoned");
         pairs.sort_by_key(|&(index, _)| index);
         pairs.into_iter().map(|(_, result)| result).collect()
+    }
+}
+
+/// Process-wide plan-cache counters: every engine reports into the
+/// same `pim_plan_cache_*_total` families, mirroring the per-engine
+/// [`EngineStats`] counters onto the metrics endpoint at batch
+/// boundaries (see `mirror_plan_cache`). Handles are registered once
+/// and kept in a static so a flush costs atomic ops, not a registry
+/// lookup.
+fn plan_cache_counter(event: &str) -> &'static pim_telemetry::Counter {
+    static HANDLES: std::sync::OnceLock<[pim_telemetry::Counter; 2]> = std::sync::OnceLock::new();
+    let [hits, misses] = HANDLES.get_or_init(|| {
+        ["hits", "misses"].map(|e| {
+            pim_telemetry::global().counter(
+                &format!("pim_plan_cache_{e}_total"),
+                "Shape-keyed plan cache events, aggregated over all engines in the process.",
+                &[],
+            )
+        })
+    });
+    if event == "hits" {
+        hits
+    } else {
+        misses
     }
 }
 

@@ -90,10 +90,14 @@ impl SearchCache {
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            telemetry_counter("hits").inc();
             return Arc::clone(result);
         }
+        let started = std::time::Instant::now();
         let result = Arc::new(search::optimal_window_with(layer, array, options));
+        telemetry_search_seconds().observe(started.elapsed().as_secs_f64());
         self.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry_counter("misses").inc();
         self.results
             .write()
             .expect("search cache lock poisoned")
@@ -136,11 +140,53 @@ impl SearchCache {
     /// to bound memory: results are recomputable, so wholesale clearing
     /// trades a few re-searches for a hard cap.
     pub fn clear(&self) {
-        self.results
-            .write()
-            .expect("search cache lock poisoned")
-            .clear();
+        let mut results = self.results.write().expect("search cache lock poisoned");
+        let dropped = results.len() as u64;
+        results.clear();
+        drop(results);
+        if dropped > 0 {
+            telemetry_counter("evictions").add(dropped);
+        }
     }
+}
+
+/// Process-wide cache counters: every `SearchCache` instance reports
+/// into the same `pim_search_cache_*_total` families, so the metrics
+/// endpoint sees aggregate search-cache behaviour regardless of how
+/// many engines a process holds.
+/// Handles are registered once and kept in a static: the hit path runs
+/// on every cached plan, so it must cost one atomic add, not a registry
+/// lookup.
+fn telemetry_counter(event: &str) -> &'static pim_telemetry::Counter {
+    static HANDLES: std::sync::OnceLock<[pim_telemetry::Counter; 3]> = std::sync::OnceLock::new();
+    let [hits, misses, evictions] = HANDLES.get_or_init(|| {
+        ["hits", "misses", "evictions"].map(|e| {
+            pim_telemetry::global().counter(
+                &format!("pim_search_cache_{e}_total"),
+                "Window-search memo cache events, aggregated over all caches in the process.",
+                &[],
+            )
+        })
+    });
+    match event {
+        "hits" => hits,
+        "misses" => misses,
+        _ => evictions,
+    }
+}
+
+/// Wall time of cache-miss window searches (the only place the
+/// Algorithm 1 search actually runs in a cached engine).
+fn telemetry_search_seconds() -> &'static pim_telemetry::Histogram {
+    static HANDLE: std::sync::OnceLock<pim_telemetry::Histogram> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| {
+        pim_telemetry::global().histogram(
+            "pim_search_seconds",
+            "Wall time of uncached Algorithm 1 window searches.",
+            &[],
+            pim_telemetry::Buckets::latency(),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -190,6 +236,34 @@ mod tests {
         );
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn telemetry_families_registered() {
+        let cache = SearchCache::new();
+        let layer = ConvLayer::square("c", 14, 3, 64, 64).unwrap();
+        cache.optimal_window(&layer, arr()); // miss
+        cache.optimal_window(&layer, arr()); // hit
+        cache.clear(); // eviction
+        let snap = pim_telemetry::global().snapshot();
+        for family in [
+            "pim_search_cache_hits_total",
+            "pim_search_cache_misses_total",
+            "pim_search_cache_evictions_total",
+        ] {
+            let sample = snap
+                .counters
+                .iter()
+                .find(|c| c.name == family)
+                .unwrap_or_else(|| panic!("{family} missing"));
+            assert!(sample.value >= 1, "{family}={}", sample.value);
+        }
+        assert!(
+            snap.histograms
+                .iter()
+                .any(|h| h.name == "pim_search_seconds" && h.count >= 1),
+            "search timing histogram missing"
+        );
     }
 
     #[test]

@@ -278,6 +278,83 @@ pub fn stats_json(stats: &EngineStats) -> JsonValue {
     ])
 }
 
+/// One metric's sorted label pairs as a JSON object.
+fn labels_json(labels: &[(String, String)]) -> JsonValue {
+    JsonValue::object(
+        labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), JsonValue::from(v.as_str()))),
+    )
+}
+
+/// The process-wide telemetry registry as JSON. This one function is
+/// both the `GET /v1/metrics?format=json` answer and what
+/// `vwsdk --metrics-dump` prints, so the CLI dump's schema is
+/// byte-identical to the wire by construction.
+///
+/// Histograms carry their cumulative buckets plus interpolated
+/// p50/p90/p99 estimates, so latency percentiles are readable without
+/// a scraper.
+pub fn metrics_json() -> JsonValue {
+    let registry = pim_telemetry::global();
+    let snapshot = registry.snapshot();
+    JsonValue::object([
+        (
+            "counters",
+            JsonValue::array(snapshot.counters.iter().map(|c| {
+                JsonValue::object([
+                    ("name", JsonValue::from(c.name.as_str())),
+                    ("labels", labels_json(&c.labels)),
+                    ("value", c.value.into()),
+                ])
+            })),
+        ),
+        (
+            "gauges",
+            JsonValue::array(snapshot.gauges.iter().map(|g| {
+                JsonValue::object([
+                    ("name", JsonValue::from(g.name.as_str())),
+                    ("labels", labels_json(&g.labels)),
+                    ("value", JsonValue::Number(g.value)),
+                ])
+            })),
+        ),
+        (
+            "histograms",
+            JsonValue::array(snapshot.histograms.iter().map(|h| {
+                let mut cumulative = 0u64;
+                let mut buckets: Vec<JsonValue> = h
+                    .bounds
+                    .iter()
+                    .zip(&h.counts)
+                    .map(|(bound, in_bucket)| {
+                        cumulative += in_bucket;
+                        JsonValue::object([
+                            ("le", JsonValue::Number(*bound)),
+                            ("count", cumulative.into()),
+                        ])
+                    })
+                    .collect();
+                let overflow = h.counts.last().copied().unwrap_or(0);
+                buckets.push(JsonValue::object([
+                    ("le", JsonValue::from("+Inf")),
+                    ("count", (cumulative + overflow).into()),
+                ]));
+                JsonValue::object([
+                    ("name", JsonValue::from(h.name.as_str())),
+                    ("labels", labels_json(&h.labels)),
+                    ("count", h.count.into()),
+                    ("sum", JsonValue::Number(h.sum)),
+                    ("p50", JsonValue::Number(h.quantile(0.50))),
+                    ("p90", JsonValue::Number(h.quantile(0.90))),
+                    ("p99", JsonValue::Number(h.quantile(0.99))),
+                    ("buckets", JsonValue::array(buckets)),
+                ])
+            })),
+        ),
+    ])
+}
+
 /// The uniform error body: `{"error": {"status": S, "message": M}}`.
 pub fn error_json(status: u16, message: &str) -> JsonValue {
     JsonValue::object([(

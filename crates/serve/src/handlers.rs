@@ -62,10 +62,18 @@ fn unprocessable(message: impl Into<String>) -> HandlerError {
     (422, message.into())
 }
 
-/// `GET /healthz`.
+/// `GET /healthz`. Uptime comes from the telemetry registry's start
+/// time, version from the build, so liveness probes can tell a fresh
+/// deploy from a long-running one.
 pub fn healthz(state: &ServerState) -> JsonValue {
+    let uptime = pim_telemetry::global().uptime_seconds();
     JsonValue::object([
         ("status", JsonValue::from("ok")),
+        ("version", JsonValue::from(env!("CARGO_PKG_VERSION"))),
+        (
+            "uptime_seconds",
+            JsonValue::Number((uptime * 1000.0).round() / 1000.0),
+        ),
         ("requests", state.requests_served().into()),
         ("jobs", state.pool_size().into()),
         ("cache", api::stats_json(&state.engine().stats())),
@@ -485,6 +493,15 @@ mod tests {
         let v = healthz(&s);
         assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("ok"));
         assert!(v.get("cache").is_some());
+        assert_eq!(
+            v.get("version").and_then(JsonValue::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        let uptime = v
+            .get("uptime_seconds")
+            .and_then(JsonValue::as_f64)
+            .expect("uptime_seconds present");
+        assert!(uptime >= 0.0);
     }
 
     #[test]

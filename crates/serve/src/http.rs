@@ -254,6 +254,25 @@ pub fn write_json_response(writer: &mut impl Write, status: u16, body: &str) -> 
     writer.flush()
 }
 
+/// Writes one plain-text response (the Prometheus exposition
+/// content-type, version 0.0.4) and flushes. Always closes the
+/// exchange (`Connection: close`).
+///
+/// # Errors
+///
+/// Propagates I/O failures (the caller just drops the connection).
+pub fn write_text_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\ncontent-type: text/plain; version=0.0.4; charset=utf-8\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        status,
+        reason_phrase(status),
+        body.len(),
+        body
+    )?;
+    writer.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,5 +377,16 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn text_responses_carry_the_prometheus_content_type() {
+        let mut out = Vec::new();
+        write_text_response(&mut out, 200, "a_total 1\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        assert!(text.contains("content-length: 10\r\n"));
+        assert!(text.ends_with("a_total 1\n"));
     }
 }

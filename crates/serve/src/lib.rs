@@ -20,6 +20,7 @@
 //! | `POST /v1/sweep` | `{"networks"?, "specs"?, "arrays"?, "algorithms"?}` | summary per (network, array) pair |
 //! | `POST /v1/deploy` | `{"network"\|"spec", "array"?, "arrays"?, "reprogram"?, "algorithms"?}` | bottleneck-optimal chip deployment: per-layer algorithm/array split, pipeline timing, energy |
 //! | `POST /v1/simulate` | `{"network"\|"spec", "array"?, "algorithm"?, "seed"?, "mode"?}` | end-to-end functional simulation: per-stage executed vs. predicted cycles, MACs, conversions, bit-exactness verdict |
+//! | `GET /v1/metrics` | — | the process telemetry registry: Prometheus text (default) or `?format=json` |
 //!
 //! Malformed JSON answers `400`, impossible requests (unknown network,
 //! invalid spec geometry) answer `422` — always as structured JSON
@@ -150,6 +151,13 @@ impl PlanServer {
                         .try_execute(move || handle_connection(stream, &state))
                         .is_err()
                     {
+                        pim_telemetry::global()
+                            .counter(
+                                "pim_sheds_total",
+                                "Connections answered 503 because the worker queue was full.",
+                                &[],
+                            )
+                            .inc();
                         if let Some(mut stream) = shed {
                             let body =
                                 api::error_json(503, "server overloaded; retry later").render();
@@ -241,10 +249,52 @@ fn is_transient_accept_error(e: &io::Error) -> bool {
     ) || matches!(e.raw_os_error(), Some(23 | 24))
 }
 
+/// What one connection gets answered with: the metrics route speaks
+/// Prometheus text, everything else structured JSON.
+enum Answer {
+    Json(u16, pim_report::json::JsonValue),
+    Text(u16, String),
+}
+
+/// HTTP status class label for the `pim_responses_total` counter.
+fn status_class(status: u16) -> &'static str {
+    match status / 100 {
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        5 => "5xx",
+        _ => "other",
+    }
+}
+
+/// Escapes a string for embedding in a JSON access-log line (paths are
+/// client-controlled).
+fn log_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Serves one connection: parse, route, handle, answer. Every failure
 /// path answers a structured JSON error; only socket I/O failures drop
 /// the connection (there is no one left to tell).
+///
+/// Observation rides along without touching response bytes: request
+/// and status-class counters plus the per-endpoint latency histogram
+/// go to the process telemetry registry, and — when
+/// [`ServerState::set_access_log`] is on — one structured line per
+/// request goes to stderr. The endpoint label is the resolved route's
+/// path (`"unmatched"` otherwise), never the raw client path, so label
+/// cardinality stays bounded.
 fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let started = std::time::Instant::now();
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let mut writer = match stream.try_clone() {
@@ -254,36 +304,105 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     let mut reader = BufReader::new(stream);
     state.count_request();
 
+    let mut endpoint = "unmatched";
+    let mut method = String::new();
+    let mut path = String::new();
     let deadline = Some(std::time::Instant::now() + REQUEST_DEADLINE);
-    let (status, body) = match http::read_request(&mut reader, deadline) {
-        Err(e) => (e.status, api::error_json(e.status, &e.message)),
-        Ok(request) => match router::resolve(&request.method, &request.path) {
-            Err((status, message)) => (status, api::error_json(status, &message)),
-            Ok(route) => {
-                // A handler panic must still answer the client — a bare
-                // closed socket would break the "never a dropped
-                // connection" contract — so unwind containment happens
-                // here, before the response is written, not only in the
-                // pool.
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match route {
-                        Route::Healthz => Ok(handlers::healthz(state)),
-                        Route::Networks => Ok(handlers::networks()),
-                        Route::Plan => handlers::plan(state, &request.body),
-                        Route::Sweep => handlers::sweep(state, &request.body),
-                        Route::Deploy => handlers::deploy(state, &request.body),
-                        Route::Simulate => handlers::simulate(state, &request.body),
-                    }));
-                match result {
-                    Ok(Ok(value)) => (200, value),
-                    Ok(Err((status, message))) => (status, api::error_json(status, &message)),
-                    Err(_) => (
-                        500,
-                        api::error_json(500, "internal error while handling the request"),
-                    ),
+    let answer = match http::read_request(&mut reader, deadline) {
+        Err(e) => Answer::Json(e.status, api::error_json(e.status, &e.message)),
+        Ok(request) => {
+            method.clone_from(&request.method);
+            path.clone_from(&request.path);
+            match router::resolve(&request.method, &request.path) {
+                Err((status, message)) => Answer::Json(status, api::error_json(status, &message)),
+                Ok(route) => {
+                    endpoint = route.path();
+                    if route == Route::Metrics {
+                        if request.query.split('&').any(|p| p == "format=json") {
+                            Answer::Json(200, api::metrics_json())
+                        } else {
+                            Answer::Text(200, pim_telemetry::global().render_prometheus())
+                        }
+                    } else {
+                        // A handler panic must still answer the client — a
+                        // bare closed socket would break the "never a
+                        // dropped connection" contract — so unwind
+                        // containment happens here, before the response is
+                        // written, not only in the pool.
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || match route {
+                                    Route::Healthz => Ok(handlers::healthz(state)),
+                                    Route::Networks => Ok(handlers::networks()),
+                                    Route::Plan => handlers::plan(state, &request.body),
+                                    Route::Sweep => handlers::sweep(state, &request.body),
+                                    Route::Deploy => handlers::deploy(state, &request.body),
+                                    Route::Simulate => handlers::simulate(state, &request.body),
+                                    Route::Metrics => unreachable!("handled above"),
+                                },
+                            ));
+                        match result {
+                            Ok(Ok(value)) => Answer::Json(200, value),
+                            Ok(Err((status, message))) => {
+                                Answer::Json(status, api::error_json(status, &message))
+                            }
+                            Err(_) => Answer::Json(
+                                500,
+                                api::error_json(500, "internal error while handling the request"),
+                            ),
+                        }
+                    }
                 }
             }
-        },
+        }
     };
-    let _ = http::write_json_response(&mut writer, status, &body.render());
+    let status = match answer {
+        Answer::Json(status, body) => {
+            let _ = http::write_json_response(&mut writer, status, &body.render());
+            status
+        }
+        Answer::Text(status, body) => {
+            let _ = http::write_text_response(&mut writer, status, &body);
+            status
+        }
+    };
+
+    let seconds = started.elapsed().as_secs_f64();
+    let registry = pim_telemetry::global();
+    let method_label = match method.as_str() {
+        "GET" => "GET",
+        "POST" => "POST",
+        _ => "OTHER",
+    };
+    registry
+        .counter(
+            "pim_requests_total",
+            "Requests handled, by resolved endpoint and method.",
+            &[("endpoint", endpoint), ("method", method_label)],
+        )
+        .inc();
+    registry
+        .counter(
+            "pim_responses_total",
+            "Responses written, by resolved endpoint and status class.",
+            &[("endpoint", endpoint), ("class", status_class(status))],
+        )
+        .inc();
+    registry
+        .histogram(
+            "pim_request_seconds",
+            "Wall time from accepted connection to response written.",
+            &[("endpoint", endpoint)],
+            pim_telemetry::Buckets::latency(),
+        )
+        .observe(seconds);
+    if state.access_log() {
+        eprintln!(
+            "{{\"event\":\"access\",\"method\":\"{}\",\"path\":\"{}\",\"status\":{},\"seconds\":{:.6}}}",
+            log_escape(&method),
+            log_escape(&path),
+            status,
+            seconds
+        );
+    }
 }

@@ -1,6 +1,6 @@
 //! Route table of the planning API.
 //!
-//! Small and closed on purpose: five endpoints, each with exactly one
+//! Small and closed on purpose: seven endpoints, each with exactly one
 //! method. Unknown paths answer `404`, known paths with the wrong
 //! method answer `405` — both as structured JSON, never a dropped
 //! connection.
@@ -23,13 +23,16 @@ pub enum Route {
     /// network's mapping plans, verified bit-exact against the
     /// reference forward pass.
     Simulate,
+    /// `GET /v1/metrics` — the process-wide telemetry registry, in
+    /// Prometheus text format (or JSON with `?format=json`).
+    Metrics,
 }
 
 impl Route {
     /// The method each route accepts.
     pub fn method(&self) -> &'static str {
         match self {
-            Route::Healthz | Route::Networks => "GET",
+            Route::Healthz | Route::Networks | Route::Metrics => "GET",
             Route::Plan | Route::Sweep | Route::Deploy | Route::Simulate => "POST",
         }
     }
@@ -43,11 +46,12 @@ impl Route {
             Route::Sweep => "/v1/sweep",
             Route::Deploy => "/v1/deploy",
             Route::Simulate => "/v1/simulate",
+            Route::Metrics => "/v1/metrics",
         }
     }
 
     /// Every route, for documentation-style error messages.
-    pub fn all() -> [Route; 6] {
+    pub fn all() -> [Route; 7] {
         [
             Route::Healthz,
             Route::Networks,
@@ -55,6 +59,7 @@ impl Route {
             Route::Sweep,
             Route::Deploy,
             Route::Simulate,
+            Route::Metrics,
         ]
     }
 }
@@ -98,6 +103,7 @@ mod tests {
         assert_eq!(resolve("POST", "/v1/sweep").unwrap(), Route::Sweep);
         assert_eq!(resolve("POST", "/v1/deploy").unwrap(), Route::Deploy);
         assert_eq!(resolve("POST", "/v1/simulate").unwrap(), Route::Simulate);
+        assert_eq!(resolve("GET", "/v1/metrics").unwrap(), Route::Metrics);
     }
 
     #[test]
@@ -113,5 +119,6 @@ mod tests {
         assert_eq!(status, 405);
         assert!(message.contains("expects POST"), "{message}");
         assert_eq!(resolve("DELETE", "/healthz").unwrap_err().0, 405);
+        assert_eq!(resolve("POST", "/v1/metrics").unwrap_err().0, 405);
     }
 }

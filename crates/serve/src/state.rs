@@ -1,7 +1,7 @@
 //! Process-wide state shared by every connection.
 
 use pim_mapping::MappingAlgorithm;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use vw_sdk::PlanningEngine;
 
 /// State shared (behind an `Arc`) across the server's worker threads:
@@ -17,6 +17,7 @@ pub struct ServerState {
     engine: PlanningEngine,
     requests: AtomicU64,
     pool_size: usize,
+    access_log: AtomicBool,
 }
 
 impl ServerState {
@@ -26,7 +27,20 @@ impl ServerState {
             engine: PlanningEngine::with_algorithms(&MappingAlgorithm::all()),
             requests: AtomicU64::new(0),
             pool_size: pool_size.max(1),
+            access_log: AtomicBool::new(false),
         }
+    }
+
+    /// Enables or disables one-line structured access logs on stderr.
+    /// Off by default so embedded servers (tests, benches) stay quiet;
+    /// the `vwsdk serve` daemon turns it on.
+    pub fn set_access_log(&self, enabled: bool) {
+        self.access_log.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether access logging is on.
+    pub fn access_log(&self) -> bool {
+        self.access_log.load(Ordering::Relaxed)
     }
 
     /// The shared planning engine.

@@ -1,0 +1,143 @@
+//! Telemetry is observation-only: enabling the registry and tracing
+//! must not change a single response byte. This lives in its own
+//! integration binary because it flips the **process-global**
+//! `pim_telemetry::set_enabled` switch, which would race with any
+//! other test recording concurrently.
+//!
+//! The check sweeps every handler shape — healthz is excluded because
+//! its request counter/uptime legitimately differ between calls — and
+//! compares bytes across three conditions: registry enabled, registry
+//! stubbed (`set_enabled(false)`), and enabled again with a trace sink
+//! installed.
+
+use pim_report::json::JsonValue;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use vw_sdk_serve::PlanServer;
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    (
+        status,
+        response
+            .split_once("\r\n\r\n")
+            .expect("separator")
+            .1
+            .to_string(),
+    )
+}
+
+/// The comparable bytes of a response: the top-level `"cache"` member
+/// (live engine hit/miss counters, legitimately different between
+/// passes as the cache warms) is stripped; everything else must match
+/// byte for byte.
+fn canonical(body: &str) -> String {
+    match JsonValue::parse(body) {
+        Ok(JsonValue::Object(members)) => {
+            JsonValue::Object(members.into_iter().filter(|(k, _)| k != "cache").collect()).render()
+        }
+        _ => body.to_string(),
+    }
+}
+
+#[test]
+fn responses_are_byte_identical_with_telemetry_on_off_and_tracing() {
+    let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    // Every deterministic handler shape: plan (zoo + inline spec),
+    // sweep, deploy, simulate (single and batched), networks, and the
+    // 4xx error paths.
+    let cases: &[(&str, &str, &str)] = &[
+        ("GET", "/v1/networks", ""),
+        (
+            "POST",
+            "/v1/plan",
+            r#"{"network": "tiny", "array": "256x256"}"#,
+        ),
+        (
+            "POST",
+            "/v1/plan",
+            r#"{"spec": {"name": "one", "layers": [{"name": "c1", "input": 8, "kernel": 3, "in_channels": 3, "out_channels": 4}]}, "array": "128x128"}"#,
+        ),
+        (
+            "POST",
+            "/v1/sweep",
+            r#"{"networks": ["tiny"], "arrays": ["128x128", "256x256"]}"#,
+        ),
+        (
+            "POST",
+            "/v1/deploy",
+            r#"{"network": "tiny", "array": "256x256", "arrays": 16}"#,
+        ),
+        (
+            "POST",
+            "/v1/simulate",
+            r#"{"network": "tiny", "array": "64x64", "seed": 7}"#,
+        ),
+        (
+            "POST",
+            "/v1/simulate",
+            r#"{"network": "tiny", "array": "64x64", "seed": 7, "batch": 3}"#,
+        ),
+        ("POST", "/v1/plan", "{not json"),
+        ("POST", "/v1/plan", r#"{"network": "nonesuch"}"#),
+        ("GET", "/v2/missing", ""),
+    ];
+
+    let run = |m: &str, p: &str, b: &str| {
+        let (status, body) = request(addr, m, p, b);
+        (status, canonical(&body))
+    };
+
+    // Pass 1: telemetry enabled (the default).
+    pim_telemetry::set_enabled(true);
+    let enabled: Vec<(u16, String)> = cases.iter().map(|&(m, p, b)| run(m, p, b)).collect();
+
+    // Pass 2: registry stubbed — recording is a no-op everywhere.
+    pim_telemetry::set_enabled(false);
+    let disabled: Vec<(u16, String)> = cases.iter().map(|&(m, p, b)| run(m, p, b)).collect();
+    pim_telemetry::set_enabled(true);
+
+    // Pass 3: enabled *and* tracing to a capturing sink.
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let captured = Arc::clone(&lines);
+    pim_telemetry::set_trace_sink(Some(Arc::new(move |line: &str| {
+        captured.lock().unwrap().push(line.to_string());
+    })));
+    let traced: Vec<(u16, String)> = cases.iter().map(|&(m, p, b)| run(m, p, b)).collect();
+    pim_telemetry::set_trace_sink(None);
+
+    for (i, &(method, path, body)) in cases.iter().enumerate() {
+        assert_eq!(
+            enabled[i], disabled[i],
+            "registry on vs stubbed changed {method} {path} {body:?}"
+        );
+        assert_eq!(
+            enabled[i], traced[i],
+            "tracing changed {method} {path} {body:?}"
+        );
+    }
+    // Tracing did observe the traffic (plan/simulate spans fired).
+    assert!(
+        lines.lock().unwrap().iter().any(|l| l.contains("engine.")),
+        "trace sink saw no engine spans"
+    );
+
+    handle.shutdown();
+}

@@ -237,6 +237,7 @@ impl NetworkExecutor {
             });
             current = self.apply_stage_ops(network, i, ofm)?;
         }
+        record_sim_telemetry(&stages, 1);
         Ok(NetworkRun {
             ofm: current,
             stages,
@@ -345,7 +346,8 @@ impl NetworkExecutor {
                     energy_pj: ps.energy_pj() + ss.energy_pj() * batch as f64,
                 }
             })
-            .collect();
+            .collect::<Vec<_>>();
+        record_sim_telemetry(&stages, b);
         Ok(BatchRun { ofms, stages })
     }
 
@@ -500,6 +502,35 @@ impl SimulationReport {
     pub fn total_energy_pj(&self) -> f64 {
         self.stages.iter().map(|s| s.energy_pj).sum()
     }
+}
+
+/// Records one finished execution into the process-wide telemetry
+/// registry: crossbar arrays programmed, input feature maps streamed,
+/// and MACs simulated. The counters aggregate over every executor in
+/// the process, so the metrics endpoint sees total simulator work.
+fn record_sim_telemetry(stages: &[StageExecution], batch_elements: u64) {
+    let registry = pim_telemetry::global();
+    registry
+        .counter(
+            "pim_sim_array_programmings_total",
+            "Crossbar arrays programmed by the functional simulator.",
+            &[],
+        )
+        .add(stages.iter().map(|s| s.array_programmings).sum());
+    registry
+        .counter(
+            "pim_sim_batch_elements_total",
+            "Input feature maps streamed through programmed pipelines.",
+            &[],
+        )
+        .add(batch_elements);
+    registry
+        .counter(
+            "pim_sim_macs_total",
+            "Multiply-accumulates simulated (program + stream phases).",
+            &[],
+        )
+        .add(stages.iter().map(|s| s.macs).sum());
 }
 
 /// The deterministic per-layer weight seed (layer 0 matches

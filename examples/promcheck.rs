@@ -1,0 +1,41 @@
+//! Validates a Prometheus text exposition with the in-tree checker —
+//! CI's guard that `GET /v1/metrics` keeps speaking the format scrape
+//! pipelines expect.
+//!
+//! ```text
+//! curl -s http://127.0.0.1:7878/v1/metrics > metrics.txt
+//! cargo run --release --example promcheck metrics.txt
+//! ```
+//!
+//! Exits nonzero (with the first violation on stderr) when the file is
+//! not valid exposition-format 0.0.4 text.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: promcheck <metrics.txt>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("promcheck: cannot read {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match pim_telemetry::promcheck::validate(&text) {
+        Ok(()) => {
+            let samples = text
+                .lines()
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .count();
+            println!("promcheck: {path}: ok ({samples} samples)");
+            ExitCode::SUCCESS
+        }
+        Err(violation) => {
+            eprintln!("promcheck: {path}: {violation}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -95,6 +95,16 @@ COMMANDS:
                                      --emit writes the JSON trajectory,
                                      --check fails when the largest batch
                                      regresses below the batch-1 baseline
+                                     (bench serve [--requests N]
+                                      [--concurrency N] [--network NAME]
+                                      [--array RxC] [--quick] [--check]
+                                      [--emit FILE.json])
+                                     loopback serving smoke: RPS plus
+                                     p50/p90/p99 from the server's own
+                                     pim_request_seconds histogram, and the
+                                     telemetry-overhead gate (--check fails
+                                     when the enabled registry costs >= 2%
+                                     on a fully cached sweep)
     sweep    Batch design-space plan (--networks a,b,... [--spec FILE.json]
                                       --arrays RxC,... --jobs N [--format text|json])
                                      defaults: every zoo network, the Fig. 8(b)
@@ -107,8 +117,10 @@ COMMANDS:
                                      the minimum pipeline bottleneck
     serve    HTTP planning daemon    (--addr HOST:PORT --jobs N)
                                      endpoints: GET /healthz, GET /v1/networks,
-                                     POST /v1/plan, POST /v1/sweep,
-                                     POST /v1/deploy, POST /v1/simulate
+                                     GET /v1/metrics, POST /v1/plan,
+                                     POST /v1/sweep, POST /v1/deploy,
+                                     POST /v1/simulate; one JSON access-log
+                                     line per request on stderr
 
 OPTIONS:
     --array RxC     PIM array geometry, e.g. 512x512 (default 512x512)
@@ -137,6 +149,12 @@ OPTIONS:
                     serve: connection workers, simulate/bench: batch
                     stream workers)
     --addr H:P      Serve bind address (default 127.0.0.1:7878)
+    --requests N    Bench serve: total POST /v1/plan requests (default 200)
+    --concurrency N Bench serve: client threads (default 4)
+    --trace         Global: emit one JSON trace event per span to stderr
+    --metrics-dump  Global: after the command, print the telemetry
+                    registry as JSON (same schema as
+                    GET /v1/metrics?format=json) to stdout
     --help          Show this text
 ";
 
@@ -247,6 +265,23 @@ pub enum Command {
         emit: Option<String>,
         /// Stream-phase worker threads (0 = one per core).
         jobs: usize,
+    },
+    /// `vwsdk bench serve`
+    BenchServe {
+        /// Total `POST /v1/plan` requests.
+        requests: usize,
+        /// Client threads (and server workers).
+        concurrency: usize,
+        /// Zoo network in every plan body.
+        network: String,
+        /// Array geometry in every plan body.
+        array: PimArray,
+        /// Fewer overhead samples (CI smoke).
+        quick: bool,
+        /// Fail on request errors or a telemetry overhead >= 2%.
+        check: bool,
+        /// Write the JSON report here as well.
+        emit: Option<String>,
     },
     /// `vwsdk sweep`
     Sweep {
@@ -381,16 +416,21 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
     let mut emit: Option<String> = None;
     let mut quick = false;
     let mut check = false;
+    let mut requests = 200usize;
+    let mut concurrency = 4usize;
 
     let mut i = 1;
+    let mut bench_suite = "";
     if command == "bench" {
-        // `bench` takes a suite name before its flags; `sim` is the
-        // only one so far.
+        // `bench` takes a suite name before its flags.
         match args.get(1).map(String::as_str) {
-            Some("sim") => i = 2,
+            Some(suite @ ("sim" | "serve")) => {
+                bench_suite = suite;
+                i = 2;
+            }
             Some(other) if !other.starts_with('-') => {
                 return Err(CliError::new(format!(
-                    "unknown bench suite {other:?}; try `vwsdk bench sim`"
+                    "unknown bench suite {other:?}; try `vwsdk bench sim` or `vwsdk bench serve`"
                 )))
             }
             _ => {
@@ -441,6 +481,18 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             "--emit" => emit = Some(take_value(args, &mut i, flag)?.to_string()),
             "--quick" => quick = true,
             "--check" => check = true,
+            "--requests" => {
+                requests = parse_usize(take_value(args, &mut i, flag)?, flag)?;
+                if requests == 0 {
+                    return Err(CliError::new("--requests must be at least 1"));
+                }
+            }
+            "--concurrency" => {
+                concurrency = parse_usize(take_value(args, &mut i, flag)?, flag)?;
+                if concurrency == 0 {
+                    return Err(CliError::new("--concurrency must be at least 1"));
+                }
+            }
             "--format" => {
                 let v = take_value(args, &mut i, flag)?;
                 format = match v.to_ascii_lowercase().as_str() {
@@ -550,6 +602,21 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             jobs,
             format,
         }),
+        "bench" if bench_suite == "serve" => Ok(Command::BenchServe {
+            requests,
+            concurrency,
+            network: network.unwrap_or_else(|| "tiny".to_string()),
+            // `--array` keeps its 512x512 default for sim; the serve
+            // smoke defaults to the cheaper 256x256 plan body.
+            array: if array_set {
+                array
+            } else {
+                PimArray::new(256, 256).expect("positive default")
+            },
+            quick,
+            check,
+            emit,
+        }),
         "bench" => Ok(Command::Bench {
             network: network.unwrap_or_else(|| "vgg13-sim".to_string()),
             array,
@@ -629,6 +696,52 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             "unknown command {other:?}; try `vwsdk --help`"
         ))),
     }
+}
+
+/// A parsed command plus the global observability flags, which any
+/// subcommand accepts in any position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The command to execute.
+    pub command: Command,
+    /// `--trace`: emit one JSON trace event per span to stderr.
+    pub trace: bool,
+    /// `--metrics-dump`: after the command, print the telemetry
+    /// registry as JSON — the same `api::metrics_json` structure
+    /// `GET /v1/metrics?format=json` answers, byte for byte.
+    pub metrics_dump: bool,
+}
+
+/// Parses raw arguments into an [`Invocation`]: strips the global
+/// `--trace` / `--metrics-dump` flags wherever they appear, then hands
+/// the rest to [`parse`].
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_invocation(args: &[String]) -> std::result::Result<Invocation, CliError> {
+    let mut trace = false;
+    let mut metrics_dump = false;
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|arg| match arg.as_str() {
+            "--trace" => {
+                trace = true;
+                false
+            }
+            "--metrics-dump" => {
+                metrics_dump = true;
+                false
+            }
+            _ => true,
+        })
+        .cloned()
+        .collect();
+    Ok(Invocation {
+        command: parse(&rest)?,
+        trace,
+        metrics_dump,
+    })
 }
 
 fn lookup_network(name: &str) -> std::result::Result<pim_nets::Network, CliError> {
@@ -892,6 +1005,9 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
         Command::Serve { addr, jobs } => {
             let server = PlanServer::bind(addr.as_str(), *jobs)
                 .map_err(|e| CliError::new(format!("cannot bind {addr:?}: {e}")))?;
+            // The daemon logs every request to stderr; embedded servers
+            // (tests, benches) keep the default of staying quiet.
+            server.state().set_access_log(true);
             let local = server
                 .local_addr()
                 .map_err(|e| CliError::new(e.to_string()))?;
@@ -1024,6 +1140,40 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                         .speedup_vs_sequential(report.max_batch())
                         .unwrap_or(0.0),
                 )));
+            }
+            Ok(out)
+        }
+        Command::BenchServe {
+            requests,
+            concurrency,
+            network,
+            array,
+            quick,
+            check,
+            emit,
+        } => {
+            let options = vw_sdk_bench::servebench::ServeBenchOptions {
+                requests: *requests,
+                concurrency: *concurrency,
+                network: network.clone(),
+                array: array.to_string(),
+                quick: *quick,
+            };
+            let report = vw_sdk_bench::servebench::run(&options).map_err(CliError::new)?;
+            let mut out = report.render_text();
+            if let Some(path) = emit {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| CliError::new(format!("cannot write {path:?}: {e}")))?;
+                out.push_str(&format!("wrote {path}\n"));
+            }
+            if *check {
+                let failures = report.check_failures();
+                if !failures.is_empty() {
+                    return Err(CliError::new(format!(
+                        "bench check failed: {}\n{out}",
+                        failures.join("; ")
+                    )));
+                }
             }
             Ok(out)
         }
@@ -1442,6 +1592,64 @@ mod tests {
         assert!(parse(&argv("bench")).is_err());
         assert!(parse(&argv("bench hyperspeed")).is_err());
         assert!(parse(&argv("bench sim --batches x")).is_err());
+    }
+
+    #[test]
+    fn bench_serve_parses_its_flags() {
+        let cmd = parse(&argv("bench serve")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchServe {
+                requests: 200,
+                concurrency: 4,
+                network: "tiny".into(),
+                array: PimArray::new(256, 256).unwrap(),
+                quick: false,
+                check: false,
+                emit: None,
+            }
+        );
+        let cmd = parse(&argv(
+            "bench serve --requests 50 --concurrency 2 --network lenet5 \
+             --array 128x128 --quick --check --emit BENCH_serve.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::BenchServe {
+                requests,
+                concurrency,
+                network,
+                array,
+                quick,
+                check,
+                emit,
+            } => {
+                assert_eq!(requests, 50);
+                assert_eq!(concurrency, 2);
+                assert_eq!(network, "lenet5");
+                assert_eq!(array.to_string(), "128x128");
+                assert!(quick && check);
+                assert_eq!(emit.as_deref(), Some("BENCH_serve.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("bench serve --requests 0")).is_err());
+        assert!(parse(&argv("bench serve --concurrency 0")).is_err());
+    }
+
+    #[test]
+    fn global_observability_flags_parse_anywhere() {
+        let plain = parse_invocation(&argv("plan --network tiny")).unwrap();
+        assert!(!plain.trace && !plain.metrics_dump);
+        assert!(matches!(plain.command, Command::Plan { .. }));
+
+        let flagged =
+            parse_invocation(&argv("--trace plan --network tiny --metrics-dump")).unwrap();
+        assert!(flagged.trace && flagged.metrics_dump);
+        // The globals are invisible to the subcommand parser.
+        assert_eq!(flagged.command, plain.command);
+
+        assert!(parse_invocation(&argv("frobnicate --trace")).is_err());
     }
 
     #[test]
