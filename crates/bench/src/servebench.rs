@@ -49,6 +49,12 @@ pub struct ServeBenchOptions {
     /// Quick mode: fewer overhead samples (CI smoke); otherwise
     /// best-of-five.
     pub quick: bool,
+    /// Reuse one connection per client thread (HTTP keep-alive)
+    /// instead of a fresh connection per request.
+    pub keep_alive: bool,
+    /// Extra concurrency levels to measure after the main phase
+    /// (empty = no sweep). Each level reruns the same request count.
+    pub sweep: Vec<usize>,
 }
 
 impl Default for ServeBenchOptions {
@@ -59,6 +65,8 @@ impl Default for ServeBenchOptions {
             network: "tiny".to_string(),
             array: "256x256".to_string(),
             quick: false,
+            keep_alive: false,
+            sweep: Vec::new(),
         }
     }
 }
@@ -102,6 +110,21 @@ fn overhead_pct_from_pairs(timed_pairs: &[(f64, f64)]) -> f64 {
     (median - 1.0) * 100.0
 }
 
+/// One concurrency level of the sweep phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Client threads at this level.
+    pub concurrency: usize,
+    /// Responses with a 2xx status.
+    pub ok: u64,
+    /// Everything else, including connection failures.
+    pub errors: u64,
+    /// Wall-clock seconds of the level.
+    pub seconds: f64,
+    /// Requests per second over the wall clock.
+    pub rps: f64,
+}
+
 /// The measured smoke run plus the configuration that produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeBenchReport {
@@ -115,6 +138,8 @@ pub struct ServeBenchReport {
     pub array: String,
     /// Whether quick (fewer-sample) timing was used.
     pub quick: bool,
+    /// Whether clients reused connections (HTTP keep-alive).
+    pub keep_alive: bool,
     /// Responses with a 2xx status.
     pub ok: u64,
     /// Responses with any other status, plus connection failures.
@@ -131,6 +156,8 @@ pub struct ServeBenchReport {
     pub p90_ms: f64,
     /// p99, milliseconds.
     pub p99_ms: f64,
+    /// The concurrency sweep, when one was requested.
+    pub sweep: Vec<SweepPoint>,
     /// The telemetry-overhead probe.
     pub overhead: OverheadProbe,
 }
@@ -168,6 +195,7 @@ impl ServeBenchReport {
         out.push_str(&format!("  \"requests\": {},\n", self.requests));
         out.push_str(&format!("  \"concurrency\": {},\n", self.concurrency));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str(&format!("  \"keep_alive\": {},\n", self.keep_alive));
         out.push_str(&format!("  \"ok\": {},\n", self.ok));
         out.push_str(&format!("  \"errors\": {},\n", self.errors));
         out.push_str(&format!("  \"sheds\": {},\n", self.sheds));
@@ -177,6 +205,18 @@ impl ServeBenchReport {
             "  \"latency_ms\": {{\"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}}},\n",
             self.p50_ms, self.p90_ms, self.p99_ms
         ));
+        if !self.sweep.is_empty() {
+            out.push_str("  \"sweep\": [\n");
+            for (i, point) in self.sweep.iter().enumerate() {
+                let comma = if i + 1 < self.sweep.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "    {{\"concurrency\": {}, \"ok\": {}, \"errors\": {}, \
+                     \"seconds\": {:.6}, \"rps\": {:.1}}}{comma}\n",
+                    point.concurrency, point.ok, point.errors, point.seconds, point.rps
+                ));
+            }
+            out.push_str("  ],\n");
+        }
         out.push_str(&format!(
             "  \"overhead\": {{\"iterations\": {}, \"pairs\": {}, \"enabled_seconds\": {:.6}, \
              \"disabled_seconds\": {:.6}, \"overhead_pct\": {:.3}}}\n",
@@ -192,8 +232,8 @@ impl ServeBenchReport {
 
     /// Human-readable summary.
     pub fn render_text(&self) -> String {
-        format!(
-            "serve loopback: {} x POST /v1/plan ({} on {}, {} client threads)\n\
+        let mut text = format!(
+            "serve loopback: {} x POST /v1/plan ({} on {}, {} client threads, {})\n\
              {} ok, {} errors, {} shed in {:.3}s -> {:.0} req/s\n\
              latency (from pim_request_seconds): p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms\n\
              telemetry overhead on cached sweep: {:+.2}% \
@@ -202,6 +242,11 @@ impl ServeBenchReport {
             self.network,
             self.array,
             self.concurrency,
+            if self.keep_alive {
+                "keep-alive"
+            } else {
+                "fresh connections"
+            },
             self.ok,
             self.errors,
             self.sheds,
@@ -215,7 +260,14 @@ impl ServeBenchReport {
             self.overhead.disabled_seconds,
             self.overhead.iterations,
             self.overhead.pairs,
-        )
+        );
+        for point in &self.sweep {
+            text.push_str(&format!(
+                "sweep @ {:>3} threads: {} ok, {} errors in {:.3}s -> {:.0} req/s\n",
+                point.concurrency, point.ok, point.errors, point.seconds, point.rps
+            ));
+        }
+        text
     }
 }
 
@@ -270,18 +322,133 @@ fn delta_histogram(
     Some(delta)
 }
 
-/// One `POST /v1/plan` over a fresh connection; returns the status, or
-/// `None` when the connection itself failed.
+/// One `POST /v1/plan` over a fresh `connection: close` connection;
+/// returns the status, or `None` when the connection itself failed.
 fn post_plan(addr: SocketAddr, body: &str) -> Option<u16> {
     let mut stream = TcpStream::connect(addr).ok()?;
     let raw = format!(
-        "POST /v1/plan HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+        "POST /v1/plan HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\
+         content-length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(raw.as_bytes()).ok()?;
     let mut response = String::new();
     stream.read_to_string(&mut response).ok()?;
     response.split(' ').nth(1)?.parse().ok()
+}
+
+/// A persistent keep-alive connection: requests reuse the socket and
+/// responses are consumed by their `content-length` framing.
+struct KeepAliveConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl KeepAliveConn {
+    fn connect(addr: SocketAddr) -> Option<Self> {
+        Some(Self {
+            stream: TcpStream::connect(addr).ok()?,
+            buf: Vec::new(),
+        })
+    }
+
+    /// One `POST /v1/plan`; returns the status, or `None` when the
+    /// connection died (the caller reconnects).
+    fn post_plan(&mut self, body: &str) -> Option<u16> {
+        let raw = format!(
+            "POST /v1/plan HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(raw.as_bytes()).ok()?;
+        let mut chunk = [0u8; 16 * 1024];
+        let header_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = self.stream.read(&mut chunk).ok()?;
+            if n == 0 {
+                return None;
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.buf[..header_end]).ok()?;
+        let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+        let length: usize = head.lines().find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })?;
+        while self.buf.len() < header_end + length {
+            let n = self.stream.read(&mut chunk).ok()?;
+            if n == 0 {
+                return None;
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        self.buf.drain(..header_end + length);
+        Some(status)
+    }
+}
+
+/// Fires `requests` `POST /v1/plan` bodies from `concurrency` client
+/// threads and returns `(ok, errors, wall seconds)`. With `keep_alive`
+/// each thread holds one connection for its whole share, reconnecting
+/// only if the server drops it; otherwise every request is a fresh
+/// `connection: close` exchange.
+fn blast(
+    addr: SocketAddr,
+    body: &str,
+    requests: usize,
+    concurrency: usize,
+    keep_alive: bool,
+) -> (u64, u64, f64) {
+    let started = Instant::now();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..concurrency)
+            .map(|thread| {
+                // Distribute the remainder across the first threads.
+                let share = requests / concurrency + usize::from(thread < requests % concurrency);
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut errors = 0u64;
+                    let mut conn: Option<KeepAliveConn> = None;
+                    for _ in 0..share {
+                        let status = if keep_alive {
+                            let alive = match conn.take().or_else(|| KeepAliveConn::connect(addr)) {
+                                Some(c) => conn.insert(c),
+                                None => {
+                                    errors += 1;
+                                    continue;
+                                }
+                            };
+                            match alive.post_plan(body) {
+                                Some(status) => Some(status),
+                                None => {
+                                    conn = None; // reconnect next round
+                                    None
+                                }
+                            }
+                        } else {
+                            post_plan(addr, body)
+                        };
+                        match status {
+                            Some(status) if (200..300).contains(&status) => ok += 1,
+                            _ => errors += 1,
+                        }
+                    }
+                    (ok, errors)
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (o, e) = worker.join().expect("bench client thread panicked");
+            ok += o;
+            errors += e;
+        }
+    });
+    (ok, errors, started.elapsed().as_secs_f64().max(1e-9))
 }
 
 /// Times the cached-sweep workload with the registry enabled vs
@@ -403,37 +570,32 @@ pub fn run(options: &ServeBenchOptions) -> Result<ServeBenchReport, String> {
     }
 
     let before = pim_telemetry::global().snapshot();
-    let started = Instant::now();
-    let mut ok = 0u64;
-    let mut errors = 0u64;
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..options.concurrency)
-            .map(|thread| {
-                // Distribute the remainder across the first threads.
-                let share = options.requests / options.concurrency
-                    + usize::from(thread < options.requests % options.concurrency);
-                let body = &body;
-                scope.spawn(move || {
-                    let mut ok = 0u64;
-                    let mut errors = 0u64;
-                    for _ in 0..share {
-                        match post_plan(addr, body) {
-                            Some(status) if (200..300).contains(&status) => ok += 1,
-                            _ => errors += 1,
-                        }
-                    }
-                    (ok, errors)
-                })
-            })
-            .collect();
-        for worker in workers {
-            let (o, e) = worker.join().expect("bench client thread panicked");
-            ok += o;
-            errors += e;
-        }
-    });
-    let seconds = started.elapsed().as_secs_f64().max(1e-9);
+    let (ok, errors, seconds) = blast(
+        addr,
+        &body,
+        options.requests,
+        options.concurrency,
+        options.keep_alive,
+    );
     let after = pim_telemetry::global().snapshot();
+
+    // The sweep reuses the warmed server: each extra concurrency level
+    // refires the same request count.
+    let mut sweep = Vec::with_capacity(options.sweep.len());
+    for &level in &options.sweep {
+        if level == 0 {
+            handle.shutdown();
+            return Err("sweep concurrency levels must be positive".to_string());
+        }
+        let (ok, errors, seconds) = blast(addr, &body, options.requests, level, options.keep_alive);
+        sweep.push(SweepPoint {
+            concurrency: level,
+            ok,
+            errors,
+            seconds,
+            rps: ok as f64 / seconds,
+        });
+    }
     handle.shutdown();
 
     let plan_labels: &[(&str, &str)] = &[("endpoint", "/v1/plan")];
@@ -452,6 +614,7 @@ pub fn run(options: &ServeBenchOptions) -> Result<ServeBenchReport, String> {
         network: options.network.clone(),
         array: options.array.clone(),
         quick: options.quick,
+        keep_alive: options.keep_alive,
         ok,
         errors,
         sheds,
@@ -460,6 +623,7 @@ pub fn run(options: &ServeBenchOptions) -> Result<ServeBenchReport, String> {
         p50_ms: quantile_ms(0.50),
         p90_ms: quantile_ms(0.90),
         p99_ms: quantile_ms(0.99),
+        sweep,
         overhead,
     })
 }
@@ -494,6 +658,7 @@ mod tests {
             network: "tiny".to_string(),
             array: "256x256".to_string(),
             quick: true,
+            keep_alive: true,
             ok: 10,
             errors: 0,
             sheds: 0,
@@ -502,6 +667,13 @@ mod tests {
             p50_ms: 1.0,
             p90_ms: 2.0,
             p99_ms: 3.0,
+            sweep: vec![SweepPoint {
+                concurrency: 8,
+                ok: 10,
+                errors: 0,
+                seconds: 0.25,
+                rps: 40.0,
+            }],
             overhead: OverheadProbe {
                 iterations: 20,
                 pairs: 3,
@@ -513,7 +685,9 @@ mod tests {
         for key in [
             "\"bench\": \"serve-loopback\"",
             "\"rps\": 20.0",
+            "\"keep_alive\": true",
             "\"latency_ms\": {\"p50\": 1.0000",
+            "{\"concurrency\": 8, \"ok\": 10, \"errors\": 0, \"seconds\": 0.250000, \"rps\": 40.0}",
             "\"overhead_pct\": 0.000",
         ] {
             assert!(

@@ -102,7 +102,10 @@ pub struct PlanningEngine {
     /// Worker threads for fan-out; 0 requests one per available core.
     jobs: usize,
     plans: RwLock<HashMap<PlanKey, MappingPlan>>,
-    searches: SearchCache,
+    /// The Algorithm 1 memo, behind an `Arc` so several engines — the
+    /// serving tier's per-shard instances — can share one table (and
+    /// therefore one single-flight coalescing domain).
+    searches: std::sync::Arc<SearchCache>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     /// Watermarks of `plan_hits` / `plan_misses` already published to
@@ -130,12 +133,23 @@ impl PlanningEngine {
             algorithms: algorithms.to_vec(),
             jobs: 1,
             plans: RwLock::new(HashMap::new()),
-            searches: SearchCache::new(),
+            searches: std::sync::Arc::new(SearchCache::new()),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             mirrored_hits: AtomicU64::new(0),
             mirrored_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces this engine's Algorithm 1 memo with a shared one.
+    ///
+    /// The serving tier builds one `Arc<SearchCache>` and hands it to
+    /// every shard's engine: plan caches stay shard-local (lock traffic
+    /// scales out), while the expensive window searches land in — and
+    /// coalesce through — a single process-wide table.
+    pub fn with_search_cache(mut self, searches: std::sync::Arc<SearchCache>) -> Self {
+        self.searches = searches;
+        self
     }
 
     /// Sets the worker-thread count for batch planning. `0` means "one
@@ -213,7 +227,16 @@ impl PlanningEngine {
             // Same shape by key construction, so rebinding cannot fail.
             return Ok(plan.rebound(layer)?);
         }
-        let plan = algorithm.plan(layer, array)?;
+        // Search-based algorithms route through the shared search memo:
+        // the search dominates planning cost, so a cold plan herd across
+        // threads (or serving shards) coalesces onto one computation.
+        let plan = match algorithm.search_options() {
+            Some(options) => {
+                let result = self.searches.optimal_window_with(layer, array, options);
+                algorithm.plan_with_search(layer, array, &result)?
+            }
+            None => algorithm.plan(layer, array)?,
+        };
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
         self.plans
             .write()
@@ -634,6 +657,13 @@ impl PlanningEngine {
     /// The engine's search cache, for sharing with other consumers.
     pub fn search_cache(&self) -> &SearchCache {
         &self.searches
+    }
+
+    /// A cloned handle to the search memo, for building further engines
+    /// over the same table (see
+    /// [`with_search_cache`](Self::with_search_cache)).
+    pub fn shared_search_cache(&self) -> std::sync::Arc<SearchCache> {
+        std::sync::Arc::clone(&self.searches)
     }
 
     /// Bounds cache memory: when either cache holds more than

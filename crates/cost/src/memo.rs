@@ -1,4 +1,5 @@
-//! Shape-keyed memoization of the Algorithm 1 window search.
+//! Shape-keyed memoization of the Algorithm 1 window search, with
+//! single-flight coalescing.
 //!
 //! The search result for a layer depends only on the layer's *shape*
 //! ([`pim_nets::LayerShape`]), the array geometry and the
@@ -8,11 +9,24 @@
 //! array after array, so caching turns the `O(layers × candidates)`
 //! search cost into hash lookups.
 //!
+//! # Single-flight coalescing
+//!
+//! A thundering herd of identical cold lookups — N connections asking
+//! the serving tier to plan the same hot layer at once — must cost one
+//! search, not N. The table therefore stores either a **ready** result
+//! or an **in-flight** marker: the first thread to miss becomes the
+//! *leader* and runs the search outside any lock; every other thread
+//! that arrives meanwhile becomes a *follower* and parks on the
+//! flight's condvar until the leader publishes. Followers count as
+//! cache hits and additionally advance the process-wide
+//! `pim_plan_coalesced_total` counter. If the leader panics, its
+//! unwind guard marks the flight aborted and wakes all followers; one
+//! of them retries the lookup and becomes the new leader, so a
+//! poisoned flight never wedges the key.
+//!
 //! [`SearchCache`] is thread-safe (`RwLock` + atomic counters) and is
-//! shared by reference across the planning engine's worker threads. Two
-//! workers racing on the same key both compute the same value — the
-//! search is deterministic — so the second insert is a harmless
-//! overwrite, never a correctness hazard.
+//! shared by reference across the planning engine's worker threads —
+//! and, behind an `Arc`, across the serving tier's shards.
 //!
 //! # Example
 //!
@@ -39,7 +53,7 @@ use pim_arch::PimArray;
 use pim_nets::{ConvLayer, LayerShape};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// Memo key: everything [`search::optimal_window_with`] depends on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,14 +63,100 @@ struct SearchKey {
     options: SearchOptions,
 }
 
-/// Thread-safe memo table for the Algorithm 1 search.
+/// What a flight has resolved to so far.
+#[derive(Debug, Clone)]
+enum FlightOutcome {
+    /// The leader is still searching.
+    Pending,
+    /// The leader published its result.
+    Done(Arc<SearchResult>),
+    /// The leader panicked; a follower must retry.
+    Aborted,
+}
+
+/// One in-flight search: followers park here until the leader finishes.
+#[derive(Debug)]
+struct Flight {
+    outcome: Mutex<FlightOutcome>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            outcome: Mutex::new(FlightOutcome::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes the terminal outcome and wakes every follower.
+    fn finish(&self, outcome: FlightOutcome) {
+        let mut slot = self.outcome.lock().expect("flight lock poisoned");
+        *slot = outcome;
+        self.cv.notify_all();
+    }
+
+    /// Parks until the leader publishes [`FlightOutcome::Done`] or
+    /// [`FlightOutcome::Aborted`].
+    fn wait(&self) -> FlightOutcome {
+        let mut slot = self.outcome.lock().expect("flight lock poisoned");
+        loop {
+            match &*slot {
+                FlightOutcome::Pending => {
+                    slot = self.cv.wait(slot).expect("flight lock poisoned");
+                }
+                done => return done.clone(),
+            }
+        }
+    }
+}
+
+/// A table slot: either a memoized result or the flight computing it.
+#[derive(Debug)]
+enum Slot {
+    Ready(Arc<SearchResult>),
+    InFlight(Arc<Flight>),
+}
+
+/// Unwind guard armed while the leader searches: dropped during a panic
+/// it removes the in-flight slot and wakes followers so one of them
+/// retries, instead of leaving every waiter parked forever.
+struct AbortOnUnwind<'a> {
+    cache: &'a SearchCache,
+    key: SearchKey,
+    flight: &'a Arc<Flight>,
+    armed: bool,
+}
+
+impl Drop for AbortOnUnwind<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut results = self
+            .cache
+            .results
+            .write()
+            .expect("search cache lock poisoned");
+        if let Some(Slot::InFlight(current)) = results.get(&self.key) {
+            if Arc::ptr_eq(current, self.flight) {
+                results.remove(&self.key);
+            }
+        }
+        drop(results);
+        self.flight.finish(FlightOutcome::Aborted);
+    }
+}
+
+/// Thread-safe, single-flight memo table for the Algorithm 1 search.
 ///
 /// See the [module docs](self) for semantics and an example.
 #[derive(Debug, Default)]
 pub struct SearchCache {
-    results: RwLock<HashMap<SearchKey, Arc<SearchResult>>>,
+    results: RwLock<HashMap<SearchKey, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl SearchCache {
@@ -67,7 +167,8 @@ impl SearchCache {
 
     /// Cached [`search::optimal_window_with`]: returns the memoized
     /// result for the layer's shape, computing and storing it on first
-    /// use.
+    /// use. Concurrent lookups of one cold key coalesce onto a single
+    /// leader computation (see the [module docs](self)).
     ///
     /// Results are shared behind an [`Arc`] — a `SearchResult` can carry
     /// a full candidate trace, so hits hand out a reference instead of
@@ -83,26 +184,116 @@ impl SearchCache {
             array,
             options,
         };
-        if let Some(result) = self
-            .results
-            .read()
-            .expect("search cache lock poisoned")
-            .get(&key)
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            telemetry_counter("hits").inc();
-            return Arc::clone(result);
+        self.get_or_compute(key, &|| search::optimal_window_with(layer, array, options))
+    }
+
+    /// The single-flight engine behind [`optimal_window_with`]
+    /// (parameterized over the computation so the abort/retry machinery
+    /// is testable with an injected panic).
+    fn get_or_compute(
+        &self,
+        key: SearchKey,
+        compute: &dyn Fn() -> SearchResult,
+    ) -> Arc<SearchResult> {
+        loop {
+            // Fast path: a read lock resolves hits and finds flights.
+            let flight = {
+                let results = self.results.read().expect("search cache lock poisoned");
+                match results.get(&key) {
+                    Some(Slot::Ready(result)) => {
+                        let result = Arc::clone(result);
+                        drop(results);
+                        self.count_hit();
+                        return result;
+                    }
+                    Some(Slot::InFlight(flight)) => Some(Arc::clone(flight)),
+                    None => None,
+                }
+            };
+            let flight = match flight {
+                Some(flight) => flight,
+                // Cold: race for leadership under the write lock.
+                None => {
+                    let mut results = self.results.write().expect("search cache lock poisoned");
+                    match results.get(&key) {
+                        Some(Slot::Ready(result)) => {
+                            let result = Arc::clone(result);
+                            drop(results);
+                            self.count_hit();
+                            return result;
+                        }
+                        Some(Slot::InFlight(flight)) => Arc::clone(flight),
+                        None => {
+                            let flight = Arc::new(Flight::new());
+                            results.insert(key, Slot::InFlight(Arc::clone(&flight)));
+                            drop(results);
+                            return self.lead(key, compute, &flight);
+                        }
+                    }
+                }
+            };
+            // Follower: park until the leader publishes or aborts.
+            match flight.wait() {
+                FlightOutcome::Done(result) => {
+                    self.count_hit();
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    telemetry_coalesced().inc();
+                    return result;
+                }
+                FlightOutcome::Aborted => {
+                    // The leader panicked. Its guard already removed the
+                    // slot; loop to retry (becoming the new leader if no
+                    // one beat us to it).
+                    continue;
+                }
+                FlightOutcome::Pending => unreachable!("wait() only returns terminal outcomes"),
+            }
         }
+    }
+
+    /// Runs the search as the flight's leader and publishes the result.
+    fn lead(
+        &self,
+        key: SearchKey,
+        compute: &dyn Fn() -> SearchResult,
+        flight: &Arc<Flight>,
+    ) -> Arc<SearchResult> {
+        let mut guard = AbortOnUnwind {
+            cache: self,
+            key,
+            flight,
+            armed: true,
+        };
         let started = std::time::Instant::now();
-        let result = Arc::new(search::optimal_window_with(layer, array, options));
+        let result = Arc::new(compute());
+        guard.armed = false;
         telemetry_search_seconds().observe(started.elapsed().as_secs_f64());
         self.misses.fetch_add(1, Ordering::Relaxed);
         telemetry_counter("misses").inc();
-        self.results
-            .write()
-            .expect("search cache lock poisoned")
-            .insert(key, Arc::clone(&result));
+        {
+            let mut results = self.results.write().expect("search cache lock poisoned");
+            match results.get_mut(&key) {
+                // The expected case: our own flight still occupies the slot.
+                Some(slot @ Slot::InFlight(_)) => {
+                    if matches!(slot, Slot::InFlight(f) if Arc::ptr_eq(f, flight)) {
+                        *slot = Slot::Ready(Arc::clone(&result));
+                    }
+                }
+                // `clear()` ran mid-flight: reinsert so the work is kept.
+                None => {
+                    results.insert(key, Slot::Ready(Arc::clone(&result)));
+                }
+                // Someone else already published an identical result.
+                Some(Slot::Ready(_)) => {}
+            }
+        }
+        flight.finish(FlightOutcome::Done(Arc::clone(&result)));
         result
+    }
+
+    fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        telemetry_counter("hits").inc();
     }
 
     /// Cached search under the paper's default options.
@@ -110,7 +301,8 @@ impl SearchCache {
         self.optimal_window_with(layer, array, SearchOptions::paper())
     }
 
-    /// Number of lookups answered from the cache.
+    /// Number of lookups answered from the cache (including coalesced
+    /// followers of an in-flight leader).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -120,7 +312,14 @@ impl SearchCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct (shape, array, options) keys stored.
+    /// Number of lookups that parked on another thread's in-flight
+    /// search instead of running their own (a subset of [`hits`](Self::hits)).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct (shape, array, options) keys stored or in
+    /// flight.
     pub fn len(&self) -> usize {
         self.results
             .read()
@@ -138,7 +337,10 @@ impl SearchCache {
     /// Long-lived consumers — the serving tier plans arbitrary
     /// user-supplied shapes for the lifetime of the process — use this
     /// to bound memory: results are recomputable, so wholesale clearing
-    /// trades a few re-searches for a hard cap.
+    /// trades a few re-searches for a hard cap. A leader whose slot is
+    /// cleared mid-flight simply reinserts its result when it finishes;
+    /// its followers are unaffected (they wait on the flight, not the
+    /// table).
     pub fn clear(&self) {
         let mut results = self.results.write().expect("search cache lock poisoned");
         let dropped = results.len() as u64;
@@ -173,6 +375,20 @@ fn telemetry_counter(event: &str) -> &'static pim_telemetry::Counter {
         "misses" => misses,
         _ => evictions,
     }
+}
+
+/// Lookups that coalesced onto another thread's in-flight search — the
+/// single-flight counter the serving tier's thundering-herd guarantee
+/// is measured by.
+fn telemetry_coalesced() -> &'static pim_telemetry::Counter {
+    static HANDLE: std::sync::OnceLock<pim_telemetry::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| {
+        pim_telemetry::global().counter(
+            "pim_plan_coalesced_total",
+            "Concurrent identical plan searches answered by one in-flight leader computation.",
+            &[],
+        )
+    })
 }
 
 /// Wall time of cache-miss window searches (the only place the
@@ -282,5 +498,106 @@ mod tests {
         });
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.hits() + cache.misses(), 32);
+    }
+
+    #[test]
+    fn cold_herd_coalesces_onto_one_search() {
+        let cache = SearchCache::new();
+        // A shape expensive enough that the herd really overlaps.
+        let layer = ConvLayer::square("herd", 56, 3, 256, 256).unwrap();
+        let threads = 8;
+        let barrier = std::sync::Barrier::new(threads);
+        let expected = search::optimal_window(&layer, arr());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    barrier.wait();
+                    assert_eq!(cache.optimal_window(&layer, arr()).as_ref(), &expected);
+                });
+            }
+        });
+        // Exactly one leader ran the search; everyone else hit.
+        assert_eq!(cache.misses(), 1, "coalesced={}", cache.coalesced());
+        assert_eq!(cache.hits(), threads as u64 - 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits() + cache.misses(), threads as u64);
+    }
+
+    #[test]
+    fn a_panicking_leader_is_retried_by_a_follower() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = SearchCache::new();
+        let layer = ConvLayer::square("c", 28, 3, 64, 64).unwrap();
+        let key = SearchKey {
+            shape: layer.shape(),
+            array: arr(),
+            options: SearchOptions::paper(),
+        };
+        let expected = search::optimal_window(&layer, arr());
+        let attempts = AtomicUsize::new(0);
+        let compute = |panic_first: bool| {
+            let attempts = &attempts;
+            let layer = &layer;
+            move || {
+                let attempt = attempts.fetch_add(1, Ordering::SeqCst);
+                if panic_first && attempt == 0 {
+                    // Park long enough that followers really queue up
+                    // behind this flight before it aborts.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    panic!("injected leader panic");
+                }
+                search::optimal_window(layer, arr())
+            }
+        };
+        std::thread::scope(|scope| {
+            let doomed = scope.spawn(|| {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_compute(key, &compute(true))
+                }));
+                assert!(result.is_err(), "injected panic must propagate");
+            });
+            // Followers arrive while the doomed leader sleeps; after it
+            // aborts, one of them re-runs the search and all resolve.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    assert_eq!(
+                        cache.get_or_compute(key, &compute(false)).as_ref(),
+                        &expected
+                    );
+                });
+            }
+            doomed.join().expect("doomed thread observed its panic");
+        });
+        // The key is usable again afterwards and holds the real result.
+        assert_eq!(cache.optimal_window(&layer, arr()).as_ref(), &expected);
+        assert!(
+            attempts.load(Ordering::SeqCst) >= 2,
+            "a follower must have retried after the abort"
+        );
+    }
+
+    #[test]
+    fn clearing_mid_flight_keeps_the_leader_result() {
+        let cache = SearchCache::new();
+        let layer = ConvLayer::square("c", 28, 3, 128, 128).unwrap();
+        let expected = search::optimal_window(&layer, arr());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for _ in 0..50 {
+                    cache.clear();
+                    std::thread::yield_now();
+                }
+            });
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        assert_eq!(cache.optimal_window(&layer, arr()).as_ref(), &expected);
+                    }
+                });
+            }
+        });
+        // Whatever the interleaving, every lookup resolved.
+        assert_eq!(cache.hits() + cache.misses(), 100);
     }
 }

@@ -95,6 +95,44 @@ impl MappingAlgorithm {
             )),
         }
     }
+
+    /// The Algorithm 1 [`SearchOptions`] this algorithm derives its
+    /// window from, or `None` for the fixed-window algorithms
+    /// (im2col, SMD, SDK) that never run the search.
+    pub fn search_options(&self) -> Option<SearchOptions> {
+        match self {
+            Self::Im2col | Self::Smd | Self::Sdk | Self::SdkOpt => None,
+            Self::VwSdk => Some(SearchOptions::paper()),
+            Self::VwSdkSquare => Some(SearchOptions::square_windows_only()),
+            Self::VwSdkFullChannel => Some(SearchOptions::no_channel_tiling()),
+        }
+    }
+
+    /// Plans a search-based algorithm from a precomputed `result` of the
+    /// Algorithm 1 search over the same `(layer shape, array,`
+    /// [`search_options`](Self::search_options)`)` triple. Byte-identical
+    /// to [`plan`](Self::plan), which runs the search inline; callers
+    /// holding a shared search memo (the planning engine's
+    /// `SearchCache`) use this so a herd of identical plans costs one
+    /// search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError`] when called on a fixed-window algorithm,
+    /// which has no search to reuse.
+    pub fn plan_with_search(
+        &self,
+        layer: &ConvLayer,
+        array: PimArray,
+        result: &search::SearchResult,
+    ) -> Result<MappingPlan> {
+        if self.search_options().is_none() {
+            return Err(MappingError::new(format!(
+                "{self} is not search-based; use plan()"
+            )));
+        }
+        Ok(plan_vw_from(layer, array, result, *self))
+    }
 }
 
 impl fmt::Display for MappingAlgorithm {
@@ -415,6 +453,16 @@ fn plan_vw(
     algorithm: MappingAlgorithm,
 ) -> MappingPlan {
     let result = search::optimal_window_with(layer, array, options);
+    plan_vw_from(layer, array, &result, algorithm)
+}
+
+/// Builds the variable-window plan from an already-computed search.
+fn plan_vw_from(
+    layer: &ConvLayer,
+    array: PimArray,
+    result: &search::SearchResult,
+    algorithm: MappingAlgorithm,
+) -> MappingPlan {
     match result.best() {
         Some(best) => plan_from_vw_cost(layer, array, best, algorithm),
         None => {

@@ -76,7 +76,8 @@ pub fn healthz(state: &ServerState) -> JsonValue {
         ),
         ("requests", state.requests_served().into()),
         ("jobs", state.pool_size().into()),
-        ("cache", api::stats_json(&state.engine().stats())),
+        ("shards", state.shards().into()),
+        ("cache", api::stats_json(&state.stats())),
     ])
 }
 
@@ -229,23 +230,20 @@ fn network_field(body: &JsonValue) -> Result<Network, HandlerError> {
 
 /// `POST /v1/plan` — body: `{"network": NAME | "spec": {...},
 /// "array"?: "RxC" | {"rows","cols"}, "algorithms"?: [LABEL, ...]}`.
-pub fn plan(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError> {
+pub fn plan(state: &ServerState, shard: usize, body: &[u8]) -> Result<JsonValue, HandlerError> {
     let body = parse_body(body)?;
     check_known_fields(&body, &["network", "spec", "array", "algorithms"])?;
     let network = network_field(&body)?;
     let array = array_field(&body)?;
     let algorithms = algorithms_field(&body)?;
     let report = state
-        .engine()
+        .engine_at(shard)
         .plan_network_with(&network, array, &algorithms)
         .map_err(|e| unprocessable(e.to_string()))?;
     state.trim_caches();
     let mut response = api::report_json(&report);
     if let JsonValue::Object(members) = &mut response {
-        members.push((
-            "cache".to_string(),
-            api::stats_json(&state.engine().stats()),
-        ));
+        members.push(("cache".to_string(), api::stats_json(&state.stats())));
     }
     Ok(response)
 }
@@ -253,7 +251,7 @@ pub fn plan(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError>
 /// `POST /v1/sweep` — body: `{"networks"?: [NAME, ...] | "all",
 /// "specs"?: [{...}, ...], "arrays"?: ["RxC", ...], "algorithms"?}`.
 /// Defaults: the whole zoo × the paper's Fig. 8(b) array sizes.
-pub fn sweep(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError> {
+pub fn sweep(state: &ServerState, shard: usize, body: &[u8]) -> Result<JsonValue, HandlerError> {
     let body = parse_body(body)?;
     check_known_fields(&body, &["networks", "specs", "arrays", "algorithms"])?;
 
@@ -310,14 +308,14 @@ pub fn sweep(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError
         for &array in &arrays {
             reports.push(
                 state
-                    .engine()
+                    .engine_at(shard)
                     .plan_network_with(network, array, &algorithms)
                     .map_err(|e| unprocessable(e.to_string()))?,
             );
         }
     }
     state.trim_caches();
-    Ok(api::sweep_json(&reports, &state.engine().stats()))
+    Ok(api::sweep_json(&reports, &state.stats()))
 }
 
 /// `POST /v1/deploy` — body: `{"network": NAME | "spec": {...},
@@ -329,7 +327,7 @@ pub fn sweep(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError
 /// The response is [`api::deployment_json`] exactly — no appended cache
 /// member — so `vwsdk deploy --format json` and this endpoint answer
 /// identical JSON for the same question.
-pub fn deploy(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError> {
+pub fn deploy(state: &ServerState, shard: usize, body: &[u8]) -> Result<JsonValue, HandlerError> {
     let body = parse_body(body)?;
     check_known_fields(
         &body,
@@ -365,7 +363,7 @@ pub fn deploy(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerErro
     let chip =
         ChipConfig::new(n_arrays, array, reprogram).map_err(|e| unprocessable(e.to_string()))?;
     let deployment = state
-        .engine()
+        .engine_at(shard)
         .deploy_network_with(&network, &chip, &algorithms)
         .map_err(|e| unprocessable(e.to_string()))?;
     state.trim_caches();
@@ -392,7 +390,7 @@ pub fn deploy(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerErro
 /// The response is [`api::simulation_json`] exactly — no appended cache
 /// member — so `vwsdk simulate --format json` and this endpoint answer
 /// identical JSON for the same question.
-pub fn simulate(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerError> {
+pub fn simulate(state: &ServerState, shard: usize, body: &[u8]) -> Result<JsonValue, HandlerError> {
     let body = parse_body(body)?;
     check_known_fields(
         &body,
@@ -467,7 +465,7 @@ pub fn simulate(state: &ServerState, body: &[u8]) -> Result<JsonValue, HandlerEr
     // Stream workers stay at 1: the connection pool is the server's
     // parallelism budget, one core per in-flight request.
     let report = state
-        .engine()
+        .engine_at(shard)
         .simulate_network_batch_with(&network, array, algorithm, seed, mode, batch as usize, 1)
         .map_err(|e| unprocessable(e.to_string()))?;
     state.trim_caches();
@@ -484,7 +482,7 @@ mod tests {
     }
 
     fn plan_body(text: &str) -> Result<JsonValue, HandlerError> {
-        plan(&state(), text.as_bytes())
+        plan(&state(), 0, text.as_bytes())
     }
 
     #[test]
@@ -606,7 +604,7 @@ mod tests {
                 .0,
             400
         );
-        let err = plan(&state(), &[0xff, 0xfe]).unwrap_err();
+        let err = plan(&state(), 0, &[0xff, 0xfe]).unwrap_err();
         assert_eq!(err.0, 400);
     }
 
@@ -653,7 +651,7 @@ mod tests {
         assert!(message.contains("service limit"), "{message}");
         let s = state();
         assert_eq!(
-            sweep(&s, br#"{"networks": ["tiny"], "arrays": ["1000000x8"]}"#)
+            sweep(&s, 0, br#"{"networks": ["tiny"], "arrays": ["1000000x8"]}"#)
                 .unwrap_err()
                 .0,
             422
@@ -665,6 +663,7 @@ mod tests {
         let s = state();
         let response = sweep(
             &s,
+            0,
             br#"{"networks": ["tiny"], "arrays": ["64x64", "128x128"]}"#,
         )
         .unwrap();
@@ -673,7 +672,7 @@ mod tests {
             .and_then(JsonValue::as_array)
             .unwrap();
         assert_eq!(reports.len(), 2);
-        let full = sweep(&s, b"{}").unwrap();
+        let full = sweep(&s, 0, b"{}").unwrap();
         let reports = full.get("reports").and_then(JsonValue::as_array).unwrap();
         assert_eq!(reports.len(), zoo::all().len() * 5);
         assert!(full.get("cache").is_some());
@@ -684,6 +683,7 @@ mod tests {
         let s = state();
         let response = sweep(
             &s,
+            0,
             br#"{"networks": ["tiny"],
                  "specs": [{"name": "inline", "layers": [
                      {"input": 8, "kernel": 3, "in_channels": 1, "out_channels": 2}
@@ -705,11 +705,14 @@ mod tests {
     #[test]
     fn sweep_rejects_malformed_shapes() {
         let s = state();
-        assert_eq!(sweep(&s, b"{\"arrays\": []}").unwrap_err().0, 400);
-        assert_eq!(sweep(&s, b"{\"networks\": \"some\"}").unwrap_err().0, 400);
-        assert_eq!(sweep(&s, b"{\"networks\": []}").unwrap_err().0, 400);
+        assert_eq!(sweep(&s, 0, b"{\"arrays\": []}").unwrap_err().0, 400);
         assert_eq!(
-            sweep(&s, br#"{"networks": ["nonexistent"]}"#)
+            sweep(&s, 0, b"{\"networks\": \"some\"}").unwrap_err().0,
+            400
+        );
+        assert_eq!(sweep(&s, 0, b"{\"networks\": []}").unwrap_err().0, 400);
+        assert_eq!(
+            sweep(&s, 0, br#"{"networks": ["nonexistent"]}"#)
                 .unwrap_err()
                 .0,
             422
@@ -721,6 +724,7 @@ mod tests {
         let s = state();
         let response = deploy(
             &s,
+            0,
             br#"{"network": "resnet18", "arrays": 32, "array": "512x512"}"#,
         )
         .unwrap();
@@ -745,7 +749,7 @@ mod tests {
 
     #[test]
     fn deploy_defaults_to_the_pipelayer_like_chip() {
-        let response = deploy(&state(), br#"{"network": "tiny"}"#).unwrap();
+        let response = deploy(&state(), 0, br#"{"network": "tiny"}"#).unwrap();
         let chip = response.get("chip").unwrap();
         assert_eq!(chip.get("arrays").and_then(JsonValue::as_u64), Some(128));
         assert_eq!(
@@ -762,38 +766,41 @@ mod tests {
     fn deploy_rejects_malformed_and_impossible_requests() {
         let s = state();
         // Malformed shapes are 400.
-        assert_eq!(deploy(&s, b"not json").unwrap_err().0, 400);
+        assert_eq!(deploy(&s, 0, b"not json").unwrap_err().0, 400);
         assert_eq!(
-            deploy(&s, br#"{"network": "tiny", "arrays": "many"}"#)
+            deploy(&s, 0, br#"{"network": "tiny", "arrays": "many"}"#)
                 .unwrap_err()
                 .0,
             400
         );
         assert_eq!(
-            deploy(&s, br#"{"network": "tiny", "reprogram": "slow"}"#)
+            deploy(&s, 0, br#"{"network": "tiny", "reprogram": "slow"}"#)
                 .unwrap_err()
                 .0,
             400
         );
         assert_eq!(
-            deploy(&s, br#"{"network": "tiny", "bogus": 1}"#)
+            deploy(&s, 0, br#"{"network": "tiny", "bogus": 1}"#)
                 .unwrap_err()
                 .0,
             400
         );
         // Impossible requests are 422 with the reason.
-        let (status, message) = deploy(&s, br#"{"network": "tiny", "arrays": 0}"#).unwrap_err();
+        let (status, message) = deploy(&s, 0, br#"{"network": "tiny", "arrays": 0}"#).unwrap_err();
         assert_eq!(status, 422);
         assert!(message.contains("at least 1 array"), "{message}");
-        let (status, message) = deploy(&s, br#"{"network": "resnet18", "arrays": 3}"#).unwrap_err();
+        let (status, message) =
+            deploy(&s, 0, br#"{"network": "resnet18", "arrays": 3}"#).unwrap_err();
         assert_eq!(status, 422);
         assert!(message.contains("3 arrays"), "{message}");
         let (status, message) =
-            deploy(&s, br#"{"network": "tiny", "arrays": 1000000}"#).unwrap_err();
+            deploy(&s, 0, br#"{"network": "tiny", "arrays": 1000000}"#).unwrap_err();
         assert_eq!(status, 422);
         assert!(message.contains("service limit"), "{message}");
         assert_eq!(
-            deploy(&s, br#"{"network": "nonexistent"}"#).unwrap_err().0,
+            deploy(&s, 0, br#"{"network": "nonexistent"}"#)
+                .unwrap_err()
+                .0,
             422
         );
     }
@@ -801,8 +808,12 @@ mod tests {
     #[test]
     fn simulate_answers_the_engine_report() {
         let s = state();
-        let response =
-            simulate(&s, br#"{"network": "tiny", "array": "64x64", "seed": 42}"#).unwrap();
+        let response = simulate(
+            &s,
+            0,
+            br#"{"network": "tiny", "array": "64x64", "seed": 42}"#,
+        )
+        .unwrap();
         assert_eq!(
             response.get("bit_exact").and_then(JsonValue::as_bool),
             Some(true)
@@ -836,6 +847,7 @@ mod tests {
         let s = state();
         let response = simulate(
             &s,
+            0,
             br#"{"network": "lenet5", "array": "96x64",
                  "algorithm": "im2col", "mode": "exact"}"#,
         )
@@ -863,6 +875,7 @@ mod tests {
         let s = state();
         let response = simulate(
             &s,
+            0,
             br#"{"network": "tiny", "array": "64x64", "seed": 42, "batch": 3}"#,
         )
         .unwrap();
@@ -871,7 +884,12 @@ mod tests {
             response.get("bit_exact").and_then(JsonValue::as_bool),
             Some(true)
         );
-        let single = simulate(&s, br#"{"network": "tiny", "array": "64x64", "seed": 42}"#).unwrap();
+        let single = simulate(
+            &s,
+            0,
+            br#"{"network": "tiny", "array": "64x64", "seed": 42}"#,
+        )
+        .unwrap();
         assert_eq!(single.get("batch").and_then(JsonValue::as_u64), Some(1));
         // Output elements sum over the batch; weights are programmed once
         // per deployment regardless of the batch size.
@@ -900,14 +918,15 @@ mod tests {
     #[test]
     fn simulate_bounds_the_batch() {
         let s = state();
-        let (status, message) = simulate(&s, br#"{"network": "tiny", "batch": 0}"#).unwrap_err();
+        let (status, message) = simulate(&s, 0, br#"{"network": "tiny", "batch": 0}"#).unwrap_err();
         assert_eq!(status, 422);
         assert!(message.contains("at least 1"), "{message}");
-        let (status, message) = simulate(&s, br#"{"network": "tiny", "batch": 1000}"#).unwrap_err();
+        let (status, message) =
+            simulate(&s, 0, br#"{"network": "tiny", "batch": 1000}"#).unwrap_err();
         assert_eq!(status, 422);
         assert!(message.contains("256"), "{message}");
         assert_eq!(
-            simulate(&s, br#"{"network": "tiny", "batch": "many"}"#)
+            simulate(&s, 0, br#"{"network": "tiny", "batch": "many"}"#)
                 .unwrap_err()
                 .0,
             400
@@ -915,7 +934,7 @@ mod tests {
         // A network inside the single-input MAC bound is still shed when
         // the batch multiplies it past the envelope.
         let (status, message) =
-            simulate(&s, br#"{"network": "vgg13-sim", "batch": 256}"#).unwrap_err();
+            simulate(&s, 0, br#"{"network": "vgg13-sim", "batch": 256}"#).unwrap_err();
         assert_eq!(status, 422);
         assert!(message.contains("simulation limit"), "{message}");
     }
@@ -923,37 +942,37 @@ mod tests {
     #[test]
     fn simulate_rejects_malformed_and_impossible_requests() {
         let s = state();
-        assert_eq!(simulate(&s, b"not json").unwrap_err().0, 400);
+        assert_eq!(simulate(&s, 0, b"not json").unwrap_err().0, 400);
         assert_eq!(
-            simulate(&s, br#"{"network": "tiny", "seed": "lots"}"#)
+            simulate(&s, 0, br#"{"network": "tiny", "seed": "lots"}"#)
                 .unwrap_err()
                 .0,
             400
         );
         assert_eq!(
-            simulate(&s, br#"{"network": "tiny", "bogus": 1}"#)
+            simulate(&s, 0, br#"{"network": "tiny", "bogus": 1}"#)
                 .unwrap_err()
                 .0,
             400
         );
         let (status, message) =
-            simulate(&s, br#"{"network": "tiny", "mode": "fuzzy"}"#).unwrap_err();
+            simulate(&s, 0, br#"{"network": "tiny", "mode": "fuzzy"}"#).unwrap_err();
         assert_eq!(status, 422);
         assert!(message.contains("fuzzy"), "{message}");
         assert_eq!(
-            simulate(&s, br#"{"network": "tiny", "algorithm": "warp"}"#)
+            simulate(&s, 0, br#"{"network": "tiny", "algorithm": "warp"}"#)
                 .unwrap_err()
                 .0,
             422
         );
         // MobileNet-like fits the MAC bound but does not chain
         // spatially (its paper-form stages skip the pooling).
-        let (status, message) = simulate(&s, br#"{"network": "mobilenet"}"#).unwrap_err();
+        let (status, message) = simulate(&s, 0, br#"{"network": "mobilenet"}"#).unwrap_err();
         assert_eq!(status, 422);
         assert!(message.contains("pw1"), "{message}");
         // Full-scale simulation requests are shed by the MAC bound
         // before any planning or execution starts.
-        let (status, message) = simulate(&s, br#"{"network": "vgg13"}"#).unwrap_err();
+        let (status, message) = simulate(&s, 0, br#"{"network": "vgg13"}"#).unwrap_err();
         assert_eq!(status, 422);
         assert!(message.contains("simulation limit"), "{message}");
     }
@@ -961,9 +980,9 @@ mod tests {
     #[test]
     fn repeated_plans_hit_the_shared_cache() {
         let s = state();
-        plan(&s, br#"{"network": "resnet18"}"#).unwrap();
+        plan(&s, 0, br#"{"network": "resnet18"}"#).unwrap();
         let first = s.engine().stats();
-        plan(&s, br#"{"network": "resnet18"}"#).unwrap();
+        plan(&s, 0, br#"{"network": "resnet18"}"#).unwrap();
         let second = s.engine().stats();
         assert_eq!(first.plan_misses, second.plan_misses);
         assert!(second.plan_hits > first.plan_hits);

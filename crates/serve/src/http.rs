@@ -1,17 +1,23 @@
-//! A minimal, defensive HTTP/1.1 request parser and response writer.
+//! A minimal, defensive HTTP/1.1 parser and response renderer.
 //!
-//! Exactly the slice of HTTP the planning service needs: one request
-//! per connection (`Connection: close` is always answered), methods
-//! GET/POST, `Content-Length`-framed bodies, and hard limits on every
-//! dimension of the input so a hostile client cannot balloon memory:
+//! Exactly the slice of HTTP the planning service needs: methods
+//! GET/POST, `Content-Length`-framed bodies, keep-alive and pipelining
+//! over HTTP/1.1 (`Connection: close` and HTTP/1.0 defaults honored),
+//! and hard limits on every dimension of the input so a hostile client
+//! cannot balloon memory:
 //!
 //! * request line ≤ 8 KiB, ≤ 64 header lines of ≤ 8 KiB each,
 //! * bodies ≤ 1 MiB (larger requests get `413 Payload Too Large`),
 //! * `Transfer-Encoding: chunked` is refused with `411 Length Required`.
 //!
-//! Parse failures carry the HTTP status the caller should answer with,
-//! so malformed requests turn into structured 4xx responses instead of
-//! dropped connections.
+//! The core is the **incremental** [`RequestParser`]: the event loop
+//! feeds it whatever bytes arrived and polls for a complete request,
+//! so a request split at any byte boundary parses identically to the
+//! same bytes arriving at once. Limits are enforced *while* data
+//! accumulates — an unterminated 9 KiB header line fails with `431`
+//! before its terminator ever arrives. Parse failures carry the HTTP
+//! status the caller should answer with, so malformed requests turn
+//! into structured 4xx responses instead of dropped connections.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -61,6 +67,8 @@ pub struct Request {
     pub path: String,
     /// Raw query string, without the `?` (empty if absent).
     pub query: String,
+    /// Protocol version as sent (`HTTP/1.1` or `HTTP/1.0`).
+    pub version: String,
     /// Header `(name, value)` pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
@@ -75,61 +83,122 @@ impl Request {
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
     }
-}
 
-/// Fails with `408` once `deadline` has passed — the whole-request
-/// bound that per-read socket timeouts cannot give (a drip-feeding
-/// client resets those with every byte).
-fn check_deadline(deadline: Option<Instant>) -> Result<(), HttpError> {
-    if deadline.is_some_and(|d| Instant::now() > d) {
-        return Err(HttpError::new(408, "request took too long to arrive"));
-    }
-    Ok(())
-}
-
-/// Reads one line terminated by `\r\n` (tolerating bare `\n`), bounded
-/// by [`MAX_LINE`] and `deadline`.
-fn read_line(reader: &mut impl BufRead, deadline: Option<Instant>) -> Result<String, HttpError> {
-    let mut line = Vec::new();
-    loop {
-        check_deadline(deadline)?;
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => break,
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                line.push(byte[0]);
-                if line.len() > MAX_LINE {
-                    return Err(HttpError::new(431, "header line exceeds 8 KiB"));
-                }
-            }
-            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(HttpError::new(400, format!("read failed: {e}"))),
+    /// Whether the connection must close after this exchange: the
+    /// client sent a `Connection: close` token, or spoke HTTP/1.0
+    /// without opting into `keep-alive`.
+    pub fn wants_close(&self) -> bool {
+        let connection = self.header("connection").unwrap_or("");
+        let has_token = |token: &str| {
+            connection
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case(token))
+        };
+        if self.version == "HTTP/1.0" {
+            !has_token("keep-alive")
+        } else {
+            has_token("close")
         }
     }
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8(line).map_err(|_| HttpError::new(400, "header line is not UTF-8"))
 }
 
-/// Reads and validates one request from the stream.
+/// What [`RequestParser::poll`] produced.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// The buffered bytes do not yet form a complete request.
+    NeedMore,
+    /// One complete request, removed from the buffer; any pipelined
+    /// bytes after it remain buffered for the next `poll`.
+    Ready(Request),
+}
+
+/// Incremental request parser: [`feed`](Self::feed) bytes as they
+/// arrive, [`poll`](Self::poll) for complete requests.
 ///
-/// `deadline`, when given, bounds the **entire** request: however
-/// slowly the client drips bytes, parsing fails with `408` once the
-/// instant passes.
-///
-/// # Errors
-///
-/// Returns [`HttpError`] carrying the 4xx/5xx status the connection
-/// should be answered with.
-pub fn read_request(
-    reader: &mut impl BufRead,
-    deadline: Option<Instant>,
-) -> Result<Request, HttpError> {
-    let request_line = read_line(reader, deadline)?;
+/// Parsing is restartable — each `poll` re-parses the buffered prefix
+/// from scratch, which the size limits keep cheap — so splitting the
+/// input at any byte boundary yields exactly the same requests and
+/// errors as feeding it whole. An error is terminal for the
+/// connection: the caller answers with the carried status and closes.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes to the buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (incomplete request + pipelined tail).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing at all is buffered — at EOF this distinguishes
+    /// a clean close from a request truncated mid-flight.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Tries to parse one complete request from the buffered bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError`] carrying the 4xx/5xx status to answer
+    /// with; the connection should close afterwards.
+    pub fn poll(&mut self) -> Result<ParseStatus, HttpError> {
+        match parse_complete(&self.buf)? {
+            Some((request, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(ParseStatus::Ready(request))
+            }
+            None => Ok(ParseStatus::NeedMore),
+        }
+    }
+}
+
+/// One line of the buffered prefix: `Ok(Some((line, next_offset)))`
+/// with the `\r\n`/`\n` terminator stripped, `Ok(None)` if the
+/// terminator has not arrived yet. Enforces [`MAX_LINE`] on complete
+/// *and still-accumulating* lines.
+fn take_line(buf: &[u8], start: usize) -> Result<Option<(&[u8], usize)>, HttpError> {
+    match buf[start..].iter().position(|&b| b == b'\n') {
+        Some(pos) => {
+            let newline = start + pos;
+            let mut end = newline;
+            if end > start && buf[end - 1] == b'\r' {
+                end -= 1;
+            }
+            if end - start > MAX_LINE {
+                return Err(HttpError::new(431, "header line exceeds 8 KiB"));
+            }
+            Ok(Some((&buf[start..end], newline + 1)))
+        }
+        None => {
+            if buf.len() - start > MAX_LINE {
+                return Err(HttpError::new(431, "header line exceeds 8 KiB"));
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Parses one complete request from the front of `buf`, returning it
+/// with the number of bytes it consumed, or `None` if more bytes are
+/// needed. Pure: never mutates, so it can run again as bytes arrive.
+fn parse_complete(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some((line, mut cursor)) = take_line(buf, 0)? else {
+        return Ok(None);
+    };
+    let request_line =
+        std::str::from_utf8(line).map_err(|_| HttpError::new(400, "request line is not UTF-8"))?;
     if request_line.is_empty() {
         return Err(HttpError::new(400, "empty request"));
     }
@@ -156,13 +225,18 @@ pub fn read_request(
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(reader, deadline)?;
+        let Some((line, next)) = take_line(buf, cursor)? else {
+            return Ok(None);
+        };
+        cursor = next;
         if line.is_empty() {
             break;
         }
         if headers.len() >= MAX_HEADERS {
             return Err(HttpError::new(431, "more than 64 header lines"));
         }
+        let line = std::str::from_utf8(line)
+            .map_err(|_| HttpError::new(400, "header line is not UTF-8"))?;
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::new(400, format!("malformed header {line:?}")));
         };
@@ -173,6 +247,7 @@ pub fn read_request(
         method: method.to_ascii_uppercase(),
         path,
         query,
+        version: version.to_string(),
         headers,
         body: Vec::new(),
     };
@@ -196,25 +271,60 @@ pub fn read_request(
                 format!("body of {length} bytes exceeds the 1 MiB limit"),
             ));
         }
-        let mut body = vec![0u8; length];
-        let mut filled = 0;
-        while filled < length {
-            check_deadline(deadline)?;
-            match reader.read(&mut body[filled..]) {
-                Ok(0) => {
-                    return Err(HttpError::new(
-                        400,
-                        format!("body truncated at {filled} of {length} bytes"),
-                    ))
-                }
-                Ok(n) => filled += n,
-                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(HttpError::new(400, format!("read failed: {e}"))),
-            }
+        if buf.len() - cursor < length {
+            return Ok(None);
         }
-        request.body = body;
+        request.body = buf[cursor..cursor + length].to_vec();
+        cursor += length;
     }
-    Ok(request)
+    Ok(Some((request, cursor)))
+}
+
+/// Fails with `408` once `deadline` has passed — the whole-request
+/// bound that per-read socket timeouts cannot give (a drip-feeding
+/// client resets those with every byte).
+fn check_deadline(deadline: Option<Instant>) -> Result<(), HttpError> {
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        return Err(HttpError::new(408, "request took too long to arrive"));
+    }
+    Ok(())
+}
+
+/// Reads and validates one request from the stream (the blocking
+/// convenience over [`RequestParser`]).
+///
+/// `deadline`, when given, bounds the **entire** request: however
+/// slowly the client drips bytes, parsing fails with `408` once the
+/// instant passes.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] carrying the 4xx/5xx status the connection
+/// should be answered with. EOF before a complete request is `400`
+/// ("empty request" if nothing arrived at all).
+pub fn read_request(
+    reader: &mut impl BufRead,
+    deadline: Option<Instant>,
+) -> Result<Request, HttpError> {
+    let mut parser = RequestParser::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        check_deadline(deadline)?;
+        if let ParseStatus::Ready(request) = parser.poll()? {
+            return Ok(request);
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                if parser.is_empty() {
+                    return Err(HttpError::new(400, "empty request"));
+                }
+                return Err(HttpError::new(400, "connection closed mid-request"));
+            }
+            Ok(n) => parser.feed(&chunk[..n]),
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::new(400, format!("read failed: {e}"))),
+        }
+    }
 }
 
 /// Standard reason phrase for the status codes the service emits.
@@ -236,6 +346,38 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
+/// Renders one complete response with explicit framing. `close`
+/// selects the `connection:` header — under keep-alive the
+/// `content-length` is what tells the client where the body ends.
+pub fn render_response(status: u16, content_type: &str, body: &str, close: bool) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
+        status,
+        reason_phrase(status),
+        content_type,
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+        body
+    )
+    .into_bytes()
+}
+
+/// [`render_response`] with the JSON content type.
+pub fn render_json_response(status: u16, body: &str, close: bool) -> Vec<u8> {
+    render_response(status, "application/json", body, close)
+}
+
+/// [`render_response`] with the Prometheus text exposition
+/// content-type (version 0.0.4).
+pub fn render_text_response(status: u16, body: &str, close: bool) -> Vec<u8> {
+    render_response(
+        status,
+        "text/plain; version=0.0.4; charset=utf-8",
+        body,
+        close,
+    )
+}
+
 /// Writes one `application/json` response and flushes. Always closes
 /// the exchange (`Connection: close`).
 ///
@@ -243,14 +385,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
 ///
 /// Propagates I/O failures (the caller just drops the connection).
 pub fn write_json_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
-        status,
-        reason_phrase(status),
-        body.len(),
-        body
-    )?;
+    writer.write_all(&render_json_response(status, body, true))?;
     writer.flush()
 }
 
@@ -262,14 +397,7 @@ pub fn write_json_response(writer: &mut impl Write, status: u16, body: &str) -> 
 ///
 /// Propagates I/O failures (the caller just drops the connection).
 pub fn write_text_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {} {}\r\ncontent-type: text/plain; version=0.0.4; charset=utf-8\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
-        status,
-        reason_phrase(status),
-        body.len(),
-        body
-    )?;
+    writer.write_all(&render_text_response(status, body, true))?;
     writer.flush()
 }
 
@@ -288,6 +416,7 @@ mod tests {
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/healthz");
         assert_eq!(r.query, "");
+        assert_eq!(r.version, "HTTP/1.1");
         assert_eq!(r.header("host"), Some("x"));
         assert!(r.body.is_empty());
     }
@@ -359,6 +488,66 @@ mod tests {
     }
 
     #[test]
+    fn an_unterminated_line_fails_before_its_terminator_arrives() {
+        let mut parser = RequestParser::new();
+        parser.feed("GET /".as_bytes());
+        parser.feed("x".repeat(MAX_LINE + 10).as_bytes());
+        assert_eq!(parser.poll().unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn incremental_parsing_matches_one_shot_at_every_split() {
+        let raw = b"POST /v1/plan HTTP/1.1\r\nHost: a\r\nContent-Length: 5\r\n\r\nhello";
+        let whole = parse(std::str::from_utf8(raw).unwrap()).unwrap();
+        for split in 0..=raw.len() {
+            let mut parser = RequestParser::new();
+            parser.feed(&raw[..split]);
+            if split < raw.len() {
+                assert!(
+                    matches!(parser.poll().unwrap(), ParseStatus::NeedMore),
+                    "complete at split {split}"
+                );
+            }
+            parser.feed(&raw[split..]);
+            match parser.poll().unwrap() {
+                ParseStatus::Ready(r) => assert_eq!(r, whole, "split {split}"),
+                ParseStatus::NeedMore => panic!("incomplete after full input, split {split}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+        let ParseStatus::Ready(first) = parser.poll().unwrap() else {
+            panic!("first request incomplete");
+        };
+        assert_eq!(first.path, "/a");
+        let ParseStatus::Ready(second) = parser.poll().unwrap() else {
+            panic!("second request incomplete");
+        };
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"hi");
+        assert!(parser.is_empty());
+        assert!(matches!(parser.poll().unwrap(), ParseStatus::NeedMore));
+    }
+
+    #[test]
+    fn connection_intent_follows_version_and_header() {
+        let keep = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(!keep.wants_close());
+        let close = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(close.wants_close());
+        let tokens = parse("GET / HTTP/1.1\r\nConnection: keep-alive, Close\r\n\r\n").unwrap();
+        assert!(tokens.wants_close());
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(old.wants_close());
+        let old_keep = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!old_keep.wants_close());
+    }
+
+    #[test]
     fn an_expired_deadline_times_the_request_out() {
         let past = Some(Instant::now() - std::time::Duration::from_secs(1));
         let err =
@@ -377,6 +566,13 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn keep_alive_responses_say_so() {
+        let text = String::from_utf8(render_json_response(200, "{}", false)).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! The ROADMAP's north star is a system that answers mapping queries
 //! over the wire for arbitrary user-supplied networks — not just the
 //! built-in zoo. This crate is that request-serving tier, built
-//! entirely on `std` (the workspace's offline dependency policy): a
-//! hand-rolled HTTP/1.1 parser ([`http`]), a fixed worker pool
-//! ([`pool`]), a closed route table ([`router`]) and pure JSON handlers
-//! ([`handlers`]) over one shared, shape-memoizing
-//! [`PlanningEngine`](vw_sdk::PlanningEngine).
+//! entirely on `std` plus the workspace's own syscall shim (the
+//! offline dependency policy): an incremental HTTP/1.1 parser
+//! ([`http`]), a sharded non-blocking event loop (`event_loop`, over
+//! [`pim_netpoll`]), a fixed worker pool ([`pool`]), a closed route
+//! table ([`router`]) and pure JSON handlers ([`handlers`]) over
+//! per-shard [`PlanningEngine`](vw_sdk::PlanningEngine)s that share
+//! one single-flight search memo.
 //!
 //! # The API
 //!
@@ -22,12 +24,22 @@
 //! | `POST /v1/simulate` | `{"network"\|"spec", "array"?, "algorithm"?, "seed"?, "mode"?}` | end-to-end functional simulation: per-stage executed vs. predicted cycles, MACs, conversions, bit-exactness verdict |
 //! | `GET /v1/metrics` | — | the process telemetry registry: Prometheus text (default) or `?format=json` |
 //!
-//! Malformed JSON answers `400`, impossible requests (unknown network,
-//! invalid spec geometry) answer `422` — always as structured JSON
-//! (`{"error": {"status", "message"}}`), never a dropped connection.
-//! Plans are **byte-identical** to what the in-process
-//! [`Planner`](vw_sdk::Planner) produces for the same query; the
-//! integration test proves it under concurrency.
+//! # The protocol
+//!
+//! HTTP/1.1 with **keep-alive and pipelining**: responses carry
+//! `content-length` framing and `connection: keep-alive` unless the
+//! client asks to close (`Connection: close`, or HTTP/1.0 without
+//! `keep-alive`). Requests on one connection are answered strictly in
+//! order, one in flight at a time. Idle connections, drip-fed
+//! requests (answered `408`) and stalled response writes all close
+//! after the configured [`timeout`](ServeConfig::timeout); when the
+//! server is saturated it sheds load with `503` instead of queueing
+//! without bound. Malformed JSON answers `400`, impossible requests
+//! (unknown network, invalid spec geometry) answer `422` — always as
+//! structured JSON (`{"error": {"status", "message"}}`), never a
+//! dropped connection. Plans are **byte-identical** to what the
+//! in-process [`Planner`](vw_sdk::Planner) produces for the same
+//! query; the integration test proves it under concurrency.
 //!
 //! # Example
 //!
@@ -40,7 +52,10 @@
 //! let handle = server.spawn();
 //!
 //! let mut stream = std::net::TcpStream::connect(addr)?;
-//! stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")?;
+//! // `connection: close` → the server closes after answering, so
+//! // EOF-delimited reading works; omit it to keep the socket open
+//! // for more requests (responses are content-length framed).
+//! stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")?;
 //! let mut response = String::new();
 //! stream.read_to_string(&mut response)?;
 //! assert!(response.starts_with("HTTP/1.1 200 OK"));
@@ -54,6 +69,8 @@
 #![deny(missing_docs)]
 
 pub mod api;
+pub mod dispatch;
+mod event_loop;
 pub mod handlers;
 pub mod http;
 pub mod pool;
@@ -62,22 +79,59 @@ pub mod state;
 
 pub use state::ServerState;
 
+use event_loop::{Shard, ShardHandle};
 use pool::ThreadPool;
-use router::Route;
-use std::io::{self, BufReader};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Per-read socket timeout: bounds each individual `read`/`write`.
-const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Tuning knobs of a [`PlanServer`]. `Default` is the production
+/// shape; [`PlanServer::bind`] only overrides `jobs`.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Handler worker threads (`0` = one per available core).
+    pub jobs: usize,
+    /// Event-loop shards, each with its own planning engine over the
+    /// shared search memo (`0` = auto: enough for the machine, capped
+    /// at 4 — shards are I/O threads, not compute).
+    pub shards: usize,
+    /// Idle, per-request read, and response-write deadline. Handler
+    /// execution gets a separate generous fixed grace.
+    pub timeout: Duration,
+    /// Open-connection cap; accepts beyond it are shed with `503`.
+    pub max_connections: usize,
+}
 
-/// Whole-request deadline: however slowly a client drips bytes (each
-/// byte resets the per-read timeout), parsing gives up — and answers
-/// `408` — once this much time has passed, so a slowloris client costs
-/// a worker at most this long.
-const REQUEST_DEADLINE: Duration = Duration::from_secs(60);
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            jobs: 0,
+            shards: 0,
+            timeout: Duration::from_secs(30),
+            max_connections: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn resolved_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.jobs
+        }
+    }
+
+    fn resolved_shards(&self) -> usize {
+        if self.shards == 0 {
+            self.resolved_jobs().clamp(1, 4)
+        } else {
+            self.shards
+        }
+    }
+}
 
 /// The planning daemon: a bound listener plus the shared state, ready
 /// to [`run`](PlanServer::run) on the current thread or
@@ -88,28 +142,46 @@ pub struct PlanServer {
     state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
     jobs: usize,
+    shards: usize,
+    timeout: Duration,
+    max_connections: usize,
 }
 
 impl PlanServer {
     /// Binds to `addr` (e.g. `"127.0.0.1:7878"`, or port `0` for an
-    /// ephemeral port) with a pool of `jobs` connection workers
-    /// (`0` = one per available core).
+    /// ephemeral port) with a pool of `jobs` handler workers
+    /// (`0` = one per available core) and default sharding/timeouts.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure (address in use, permission…).
     pub fn bind(addr: impl ToSocketAddrs, jobs: usize) -> io::Result<Self> {
+        Self::bind_with(
+            addr,
+            ServeConfig {
+                jobs,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    /// Binds with explicit [`ServeConfig`] knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission…).
+    pub fn bind_with(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        let jobs = if jobs == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            jobs
-        };
+        let jobs = config.resolved_jobs();
+        let shards = config.resolved_shards();
         Ok(Self {
             listener,
-            state: Arc::new(ServerState::new(jobs)),
+            state: Arc::new(ServerState::with_shards(jobs, shards)),
             shutdown: Arc::new(AtomicBool::new(false)),
             jobs,
+            shards,
+            timeout: config.timeout,
+            max_connections: config.max_connections.max(1),
         })
     }
 
@@ -122,48 +194,62 @@ impl PlanServer {
         self.listener.local_addr()
     }
 
-    /// The shared server state (engine, counters).
+    /// The shared server state (engines, counters).
     pub fn state(&self) -> Arc<ServerState> {
         Arc::clone(&self.state)
     }
 
-    /// Serves connections on the **current thread** until
-    /// [`ServerHandle::shutdown`] is signalled (never, when nothing
-    /// holds a handle — the daemon case).
+    /// Serves connections on the **current thread** (the acceptor)
+    /// until [`ServerHandle::shutdown`] is signalled (never, when
+    /// nothing holds a handle — the daemon case). Shard event loops
+    /// and handler workers run on their own threads either way.
     ///
     /// # Errors
     ///
-    /// Returns the first fatal accept error. Per-connection failures
-    /// are answered or dropped without stopping the server.
+    /// Returns the first fatal accept error or shard-spawn failure.
+    /// Per-connection failures are answered or dropped without
+    /// stopping the server.
     pub fn run(self) -> io::Result<()> {
-        let pool = ThreadPool::new(self.jobs);
-        for stream in self.listener.incoming() {
+        let pool = Arc::new(ThreadPool::new(self.jobs));
+        let open = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::with_capacity(self.shards);
+        let mut threads = Vec::with_capacity(self.shards);
+        for index in 0..self.shards {
+            let handle = Arc::new(ShardHandle::new()?);
+            let shard = Shard {
+                shard: index,
+                state: Arc::clone(&self.state),
+                pool: Arc::clone(&pool),
+                handle: Arc::clone(&handle),
+                open: Arc::clone(&open),
+                shutdown: Arc::clone(&self.shutdown),
+                timeout: self.timeout,
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-shard-{index}"))
+                    .spawn(move || shard.run())?,
+            );
+            handles.push(handle);
+        }
+
+        let mut next_shard = 0usize;
+        let result = loop {
             if self.shutdown.load(Ordering::SeqCst) {
-                break;
+                break Ok(());
             }
-            match stream {
-                Ok(stream) => {
-                    let state = Arc::clone(&self.state);
-                    // Keep a second handle so a full queue can still be
-                    // answered (load shedding beats silent buffering).
-                    let shed = stream.try_clone().ok();
-                    if pool
-                        .try_execute(move || handle_connection(stream, &state))
-                        .is_err()
-                    {
-                        pim_telemetry::global()
-                            .counter(
-                                "pim_sheds_total",
-                                "Connections answered 503 because the worker queue was full.",
-                                &[],
-                            )
-                            .inc();
-                        if let Some(mut stream) = shed {
-                            let body =
-                                api::error_json(503, "server overloaded; retry later").render();
-                            let _ = http::write_json_response(&mut stream, 503, &body);
-                        }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    count_conn_open();
+                    if open.load(Ordering::SeqCst) >= self.max_connections {
+                        shed_connection(stream);
+                        continue;
                     }
+                    open.fetch_add(1, Ordering::SeqCst);
+                    let handle = &handles[next_shard % handles.len()];
+                    next_shard = next_shard.wrapping_add(1);
+                    handle.push(stream);
+                    let _ = handle.waker.wake();
                 }
                 // Transient accept failures — aborted handshakes, fd
                 // exhaustion under load (EMFILE/ENFILE), interrupts —
@@ -175,11 +261,22 @@ impl PlanServer {
                     }
                     continue;
                 }
-                Err(e) => return Err(e),
+                Err(e) => break Err(e),
             }
+        };
+
+        // Wind down: stop the shards (serving their open connections'
+        // in-flight writes is the workers' job; the shards drop what
+        // remains), then drain and join the worker pool.
+        self.shutdown.store(true, Ordering::SeqCst);
+        for handle in &handles {
+            let _ = handle.waker.wake();
         }
-        Ok(())
-        // `pool` drops here: workers drain queued connections and join.
+        for thread in threads {
+            let _ = thread.join();
+        }
+        drop(pool);
+        result
     }
 
     /// Serves in a background thread; the returned handle stops it.
@@ -200,6 +297,39 @@ impl PlanServer {
     }
 }
 
+/// Counts one accepted connection (shed or served).
+fn count_conn_open() {
+    pim_telemetry::global()
+        .counter(
+            "pim_conn_open_total",
+            "Connections accepted, including ones immediately shed.",
+            &[],
+        )
+        .inc();
+}
+
+/// Sheds a connection at the open-connection cap: answers `503` on the
+/// accepting thread (bounded by a short write timeout) and closes.
+fn shed_connection(mut stream: TcpStream) {
+    pim_telemetry::global()
+        .counter(
+            "pim_conn_shed_total",
+            "Connections answered 503 at accept because the open-connection cap was reached.",
+            &[],
+        )
+        .inc();
+    pim_telemetry::global()
+        .counter(
+            "pim_sheds_total",
+            "Connections answered 503 because the worker queue was full.",
+            &[],
+        )
+        .inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let body = api::error_json(503, "server overloaded; retry later").render();
+    let _ = stream.write_all(&http::render_json_response(503, &body, true));
+}
+
 /// Handle to a background [`PlanServer`]; dropping it without calling
 /// [`ServerHandle::shutdown`] leaves the server running detached.
 #[derive(Debug)]
@@ -216,13 +346,13 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The shared server state (engine, counters).
+    /// The shared server state (engines, counters).
     pub fn state(&self) -> Arc<ServerState> {
         Arc::clone(&self.state)
     }
 
-    /// Signals the acceptor to stop, unblocks it, and joins it. All
-    /// connections already accepted are served to completion first.
+    /// Signals the acceptor and shards to stop, unblocks them, and
+    /// joins them. Connections still open are dropped.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(addr) = self.addr {
@@ -247,162 +377,4 @@ fn is_transient_accept_error(e: &io::Error) -> bool {
             | io::ErrorKind::Interrupted
             | io::ErrorKind::WouldBlock
     ) || matches!(e.raw_os_error(), Some(23 | 24))
-}
-
-/// What one connection gets answered with: the metrics route speaks
-/// Prometheus text, everything else structured JSON.
-enum Answer {
-    Json(u16, pim_report::json::JsonValue),
-    Text(u16, String),
-}
-
-/// HTTP status class label for the `pim_responses_total` counter.
-fn status_class(status: u16) -> &'static str {
-    match status / 100 {
-        2 => "2xx",
-        3 => "3xx",
-        4 => "4xx",
-        5 => "5xx",
-        _ => "other",
-    }
-}
-
-/// Escapes a string for embedding in a JSON access-log line (paths are
-/// client-controlled).
-fn log_escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for ch in text.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Serves one connection: parse, route, handle, answer. Every failure
-/// path answers a structured JSON error; only socket I/O failures drop
-/// the connection (there is no one left to tell).
-///
-/// Observation rides along without touching response bytes: request
-/// and status-class counters plus the per-endpoint latency histogram
-/// go to the process telemetry registry, and — when
-/// [`ServerState::set_access_log`] is on — one structured line per
-/// request goes to stderr. The endpoint label is the resolved route's
-/// path (`"unmatched"` otherwise), never the raw client path, so label
-/// cardinality stays bounded.
-fn handle_connection(stream: TcpStream, state: &ServerState) {
-    let started = std::time::Instant::now();
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    state.count_request();
-
-    let mut endpoint = "unmatched";
-    let mut method = String::new();
-    let mut path = String::new();
-    let deadline = Some(std::time::Instant::now() + REQUEST_DEADLINE);
-    let answer = match http::read_request(&mut reader, deadline) {
-        Err(e) => Answer::Json(e.status, api::error_json(e.status, &e.message)),
-        Ok(request) => {
-            method.clone_from(&request.method);
-            path.clone_from(&request.path);
-            match router::resolve(&request.method, &request.path) {
-                Err((status, message)) => Answer::Json(status, api::error_json(status, &message)),
-                Ok(route) => {
-                    endpoint = route.path();
-                    if route == Route::Metrics {
-                        if request.query.split('&').any(|p| p == "format=json") {
-                            Answer::Json(200, api::metrics_json())
-                        } else {
-                            Answer::Text(200, pim_telemetry::global().render_prometheus())
-                        }
-                    } else {
-                        // A handler panic must still answer the client — a
-                        // bare closed socket would break the "never a
-                        // dropped connection" contract — so unwind
-                        // containment happens here, before the response is
-                        // written, not only in the pool.
-                        let result =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                || match route {
-                                    Route::Healthz => Ok(handlers::healthz(state)),
-                                    Route::Networks => Ok(handlers::networks()),
-                                    Route::Plan => handlers::plan(state, &request.body),
-                                    Route::Sweep => handlers::sweep(state, &request.body),
-                                    Route::Deploy => handlers::deploy(state, &request.body),
-                                    Route::Simulate => handlers::simulate(state, &request.body),
-                                    Route::Metrics => unreachable!("handled above"),
-                                },
-                            ));
-                        match result {
-                            Ok(Ok(value)) => Answer::Json(200, value),
-                            Ok(Err((status, message))) => {
-                                Answer::Json(status, api::error_json(status, &message))
-                            }
-                            Err(_) => Answer::Json(
-                                500,
-                                api::error_json(500, "internal error while handling the request"),
-                            ),
-                        }
-                    }
-                }
-            }
-        }
-    };
-    let status = match answer {
-        Answer::Json(status, body) => {
-            let _ = http::write_json_response(&mut writer, status, &body.render());
-            status
-        }
-        Answer::Text(status, body) => {
-            let _ = http::write_text_response(&mut writer, status, &body);
-            status
-        }
-    };
-
-    let seconds = started.elapsed().as_secs_f64();
-    let registry = pim_telemetry::global();
-    let method_label = match method.as_str() {
-        "GET" => "GET",
-        "POST" => "POST",
-        _ => "OTHER",
-    };
-    registry
-        .counter(
-            "pim_requests_total",
-            "Requests handled, by resolved endpoint and method.",
-            &[("endpoint", endpoint), ("method", method_label)],
-        )
-        .inc();
-    registry
-        .counter(
-            "pim_responses_total",
-            "Responses written, by resolved endpoint and status class.",
-            &[("endpoint", endpoint), ("class", status_class(status))],
-        )
-        .inc();
-    registry
-        .histogram(
-            "pim_request_seconds",
-            "Wall time from accepted connection to response written.",
-            &[("endpoint", endpoint)],
-            pim_telemetry::Buckets::latency(),
-        )
-        .observe(seconds);
-    if state.access_log() {
-        eprintln!(
-            "{{\"event\":\"access\",\"method\":\"{}\",\"path\":\"{}\",\"status\":{},\"seconds\":{:.6}}}",
-            log_escape(&method),
-            log_escape(&path),
-            status,
-            seconds
-        );
-    }
 }

@@ -1,0 +1,218 @@
+//! Keep-alive conformance: reusing one connection must be invisible in
+//! the response bytes.
+//!
+//! * 100 sequential requests on **one** kept-alive connection answer
+//!   byte-identical bodies to 100 requests over fresh connections;
+//! * responses are `content-length`-framed so the client always knows
+//!   where one ends and the next begins;
+//! * `Connection: close` is honored mid-stream — the server answers,
+//!   closes, and further reads see EOF;
+//! * pipelined requests are answered in order on one connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use vw_sdk_serve::PlanServer;
+
+/// A keep-alive client: one socket plus the buffer of bytes read past
+/// the previous response's framing (pipelined answers arrive back to
+/// back, so a read for one response may pull in the start of the next).
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        Self {
+            stream: TcpStream::connect(addr).expect("connect"),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads exactly one `content-length`-framed response. Returns
+    /// (status, headers, body).
+    fn read_framed(&mut self) -> (u16, String, String) {
+        let mut chunk = [0u8; 4096];
+        let header_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = self.stream.read(&mut chunk).expect("read headers");
+            assert!(n > 0, "EOF before response headers completed");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.buf[..header_end].to_vec()).expect("ASCII headers");
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .expect("numeric status");
+        let length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().expect("numeric length"))
+            })
+            .expect("keep-alive responses must carry content-length");
+        while self.buf.len() < header_end + length {
+            let n = self.stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "EOF mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.buf[header_end..header_end + length].to_vec();
+        self.buf.drain(..header_end + length);
+        (status, head, String::from_utf8(body).expect("UTF-8 body"))
+    }
+
+    /// Confirms the server closed cleanly with no bytes left over.
+    fn expect_eof(&mut self) {
+        let mut rest = Vec::new();
+        self.stream.read_to_end(&mut rest).expect("clean close");
+        assert!(
+            self.buf.is_empty() && rest.is_empty(),
+            "bytes after the final response"
+        );
+    }
+}
+
+fn send(client: &mut Client, body: &str, close: bool) {
+    let connection = if close { "close" } else { "keep-alive" };
+    let raw = format!(
+        "POST /v1/plan HTTP/1.1\r\nhost: t\r\nconnection: {connection}\r\n\
+         content-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    client.stream.write_all(raw.as_bytes()).expect("send");
+}
+
+/// The response body over a fresh `connection: close` connection.
+fn fresh_body(addr: SocketAddr, body: &str) -> String {
+    let mut client = Client::connect(addr);
+    send(&mut client, body, true);
+    let mut response = String::new();
+    client
+        .stream
+        .read_to_string(&mut response)
+        .expect("receive");
+    response
+        .split_once("\r\n\r\n")
+        .expect("framing")
+        .1
+        .to_string()
+}
+
+/// The plan member of a response body, with the trailing live-counter
+/// `"cache"` member stripped (it legitimately moves between requests).
+fn plan_of(body: &str) -> &str {
+    body.split(",\"cache\":").next().unwrap_or(body)
+}
+
+#[test]
+fn one_kept_alive_connection_matches_100_fresh_ones() {
+    let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    // Two alternating queries so framing errors cannot hide behind
+    // identical lengths.
+    let queries = [
+        r#"{"network": "tiny", "array": "128x128"}"#,
+        r#"{"network": "tiny", "array": "256x256"}"#,
+    ];
+
+    let mut client = Client::connect(addr);
+    for round in 0..100 {
+        let query = queries[round % queries.len()];
+        send(&mut client, query, false);
+        let (status, head, kept_body) = client.read_framed();
+        assert_eq!(status, 200, "round {round}: {kept_body}");
+        assert!(
+            head.contains("connection: keep-alive\r\n"),
+            "round {round}: {head}"
+        );
+        assert_eq!(
+            plan_of(&kept_body),
+            plan_of(&fresh_body(addr, query)),
+            "round {round}: kept-alive response diverged from a fresh connection"
+        );
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn connection_close_is_honored_mid_stream() {
+    let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    let query = r#"{"network": "tiny"}"#;
+    let mut client = Client::connect(addr);
+    // Two kept-alive requests, then one asking to close.
+    for _ in 0..2 {
+        send(&mut client, query, false);
+        let (status, head, _) = client.read_framed();
+        assert_eq!(status, 200);
+        assert!(head.contains("connection: keep-alive\r\n"), "{head}");
+    }
+    send(&mut client, query, true);
+    let (status, head, _) = client.read_framed();
+    assert_eq!(status, 200);
+    assert!(head.contains("connection: close\r\n"), "{head}");
+    // The server must close: the next read sees EOF, not a hang.
+    client.expect_eof();
+
+    handle.shutdown();
+}
+
+#[test]
+fn http_1_0_closes_by_default() {
+    let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nhost: t\r\n\r\n")
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("connection: close\r\n"), "{response}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = PlanServer::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr);
+    // Three requests written back to back before reading anything;
+    // distinguishable answers prove ordering.
+    let burst = "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n\
+                 GET /v1/networks HTTP/1.1\r\nhost: t\r\n\r\n\
+                 GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n";
+    client
+        .stream
+        .write_all(burst.as_bytes())
+        .expect("send burst");
+
+    let (status, _, body) = client.read_framed();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    let (status, _, body) = client.read_framed();
+    assert_eq!(status, 200);
+    assert!(body.contains("ResNet-18"), "{body}");
+    let (status, head, body) = client.read_framed();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(head.contains("connection: close\r\n"), "{head}");
+    client.expect_eof();
+
+    handle.shutdown();
+}

@@ -1,0 +1,159 @@
+//! Property tests for the incremental HTTP request parser.
+//!
+//! The event loop feeds the parser whatever chunk sizes the kernel
+//! hands it, so the parser's one invariant is **split independence**:
+//! for any byte stream — valid request, corrupted request, or plain
+//! garbage — feeding it in arbitrary pieces must produce exactly the
+//! outcome of feeding it whole, and must never panic. The properties
+//! below drive both from generated inputs; the unit tests in
+//! `src/http.rs` pin the specific protocol semantics.
+
+use proptest::prelude::*;
+use vw_sdk_serve::http::{ParseStatus, RequestParser};
+
+/// The observable outcome of running the parser over a full byte
+/// stream: an error status, a parsed request (projected to comparable
+/// fields), or still hungry with N bytes buffered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Error(u16),
+    Ready {
+        method: String,
+        path: String,
+        query: String,
+        version: String,
+        body: Vec<u8>,
+        leftover: usize,
+    },
+    NeedMore(usize),
+}
+
+/// Feeds `stream` to a fresh parser in the given `chunks` (cut points)
+/// and polls after every feed, mirroring the event loop's read cycle.
+/// Returns the first terminal outcome (error or ready), or `NeedMore`
+/// with the final buffered count.
+fn drive(stream: &[u8], cuts: &[usize]) -> Outcome {
+    let mut parser = RequestParser::new();
+    let mut fed = 0usize;
+    let mut boundaries: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+    boundaries.push(stream.len());
+    boundaries.sort_unstable();
+    for cut in boundaries {
+        if cut > fed {
+            parser.feed(&stream[fed..cut]);
+            fed = cut;
+        }
+        match parser.poll() {
+            Err(e) => return Outcome::Error(e.status),
+            Ok(ParseStatus::Ready(request)) => {
+                // The request may complete before the tail of the
+                // stream was fed; feed the rest so `leftover` means
+                // the same thing at every split.
+                parser.feed(&stream[fed..]);
+                return Outcome::Ready {
+                    method: request.method,
+                    path: request.path,
+                    query: request.query,
+                    version: request.version,
+                    body: request.body,
+                    leftover: parser.buffered(),
+                };
+            }
+            Ok(ParseStatus::NeedMore) => {}
+        }
+    }
+    Outcome::NeedMore(parser.buffered())
+}
+
+/// A syntactically valid request with arbitrary method/path/body sizes.
+fn valid_request() -> impl Strategy<Value = Vec<u8>> {
+    (
+        prop_oneof![Just("GET"), Just("POST"), Just("PUT")],
+        1usize..40,  // path length
+        0usize..600, // body length
+        0usize..6,   // extra headers
+    )
+        .prop_map(|(method, path_len, body_len, extra_headers)| {
+            let path: String = std::iter::once('/')
+                .chain((0..path_len).map(|i| (b'a' + (i % 26) as u8) as char))
+                .collect();
+            let body: Vec<u8> = (0..body_len).map(|i| (i % 251) as u8).collect();
+            let mut raw = format!("{method} {path} HTTP/1.1\r\nhost: fuzz\r\n");
+            for h in 0..extra_headers {
+                raw.push_str(&format!("x-h{h}: v{h}\r\n"));
+            }
+            raw.push_str(&format!("content-length: {body_len}\r\n\r\n"));
+            let mut bytes = raw.into_bytes();
+            bytes.extend_from_slice(&body);
+            bytes
+        })
+}
+
+/// Arbitrary bytes — mostly garbage, occasionally request-like because
+/// the alphabet includes the request-line characters.
+fn arbitrary_stream() -> impl Strategy<Value = Vec<u8>> {
+    collection::vec(
+        prop_oneof![
+            0u32..256,          // raw bytes
+            Just(b'\r' as u32), // weight framing bytes heavily
+            Just(b'\n' as u32),
+            Just(b' ' as u32),
+            Just(b':' as u32),
+        ],
+        1..2048,
+    )
+    .prop_map(|units| units.into_iter().map(|u| u as u8).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A valid request parses to the same request at every split; the
+    /// parse must complete (the stream is whole) and consume exactly
+    /// the stream (no leftover, nothing still buffered).
+    #[test]
+    fn valid_requests_parse_identically_at_any_split(
+        stream in valid_request(),
+        cuts in collection::vec(0usize..4096, 1..8),
+    ) {
+        let whole = drive(&stream, &[]);
+        let split = drive(&stream, &cuts);
+        prop_assert_eq!(&split, &whole);
+        match whole {
+            Outcome::Ready { leftover, .. } => prop_assert_eq!(leftover, 0),
+            other => prop_assert!(false, "valid request did not parse: {:?}", other),
+        }
+    }
+
+    /// Arbitrary byte streams never panic the parser, and the outcome
+    /// (error status, parsed request, or bytes-still-wanted) is
+    /// independent of how the stream is split.
+    #[test]
+    fn arbitrary_streams_never_panic_and_split_independently(
+        stream in arbitrary_stream(),
+        cuts in collection::vec(0usize..4096, 1..8),
+    ) {
+        let whole = drive(&stream, &[]);
+        let split = drive(&stream, &cuts);
+        prop_assert_eq!(split, whole);
+    }
+
+    /// Two valid requests back to back (pipelining): the first parses
+    /// with the second left buffered, at every split.
+    #[test]
+    fn pipelined_pairs_leave_the_tail_buffered(
+        first in valid_request(),
+        second in valid_request(),
+        cuts in collection::vec(0usize..8192, 1..8),
+    ) {
+        let mut stream = first.clone();
+        stream.extend_from_slice(&second);
+        let whole = drive(&stream, &[]);
+        let split = drive(&stream, &cuts);
+        prop_assert_eq!(&split, &whole);
+        match whole {
+            Outcome::Ready { leftover, .. } => prop_assert_eq!(leftover, second.len()),
+            other => prop_assert!(false, "first request did not parse: {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Protocol torture tests: misbehaving clients against short-deadline
+//! servers. Every scenario must end in a **documented status or a
+//! clean close within the timeout** — never a hang, never a panic —
+//! and the protection counters (`pim_conn_timeout_total`,
+//! `pim_sheds_total`) must advance.
+//!
+//! Counters are process-global, so every assertion is an
+//! at-least-delta; scenarios run their own server instances.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use vw_sdk_serve::{PlanServer, ServeConfig};
+
+/// A config with deadlines short enough to torture quickly but long
+/// enough that a loaded CI machine still distinguishes "within the
+/// deadline" from "hung".
+fn short_deadlines() -> ServeConfig {
+    ServeConfig {
+        jobs: 2,
+        shards: 2,
+        timeout: Duration::from_millis(300),
+        max_connections: 64,
+    }
+}
+
+/// The wall-clock bound within which every scenario must resolve: the
+/// server deadline plus generous scheduling slack.
+const RESOLUTION_BOUND: Duration = Duration::from_secs(10);
+
+/// Scrapes one counter series from `/v1/metrics` over a throwaway
+/// connection (0 when the series does not exist yet).
+fn scrape(addr: SocketAddr, series: &str) -> u64 {
+    let mut stream = TcpStream::connect(addr).expect("connect for scrape");
+    stream
+        .write_all(b"GET /v1/metrics HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .expect("send scrape");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read scrape");
+    response
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.rsplit_once(' ')?;
+            (name == series).then(|| value.parse::<u64>().expect("integer sample"))
+        })
+        .unwrap_or(0)
+}
+
+/// Reads whatever the server answers until EOF, bounded by
+/// [`RESOLUTION_BOUND`]; panics on a hang.
+fn drain(stream: &mut TcpStream) -> String {
+    stream
+        .set_read_timeout(Some(RESOLUTION_BOUND))
+        .expect("set read timeout");
+    let mut response = String::new();
+    match stream.read_to_string(&mut response) {
+        Ok(_) => response,
+        // A reset after the server closed mid-conversation is a clean
+        // drop, not a hang; report what arrived before it.
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => response,
+        Err(e) => panic!("server hung or failed the read: {e} (got {response:?})"),
+    }
+}
+
+#[test]
+fn slowloris_drip_feed_answers_408_within_the_deadline() {
+    let server = PlanServer::bind_with("127.0.0.1:0", short_deadlines()).expect("bind");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+    let timeouts_before = scrape(addr, "pim_conn_timeout_total");
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let started = Instant::now();
+    // Drip a byte of a never-completing request line every 30ms from a
+    // writer clone; the read deadline anchors at the FIRST byte, so the
+    // drip must not extend it.
+    let mut writer = stream.try_clone().expect("clone for the drip");
+    let dripper = std::thread::spawn(move || {
+        for byte in b"GET /healthz HTTP/1.1\r\nx-slow: "
+            .iter()
+            .cycle()
+            .take(200)
+        {
+            if writer.write_all(&[*byte]).is_err() {
+                break; // server cut us off — the point of the test
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    });
+
+    let response = drain(&mut stream);
+    let elapsed = started.elapsed();
+    dripper.join().expect("dripper thread");
+
+    assert!(
+        response.starts_with("HTTP/1.1 408"),
+        "slowloris must be answered 408: {response:?}"
+    );
+    assert!(
+        elapsed < RESOLUTION_BOUND,
+        "slowloris resolution took {elapsed:?}"
+    );
+    assert!(
+        scrape(addr, "pim_conn_timeout_total") > timeouts_before,
+        "the timeout counter must advance"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_within_the_deadline() {
+    let server = PlanServer::bind_with("127.0.0.1:0", short_deadlines()).expect("bind");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+    let timeouts_before = scrape(addr, "pim_conn_timeout_total");
+
+    // Connect and send nothing at all: no request started, so the
+    // server owes no response — just a clean close.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let started = Instant::now();
+    let response = drain(&mut stream);
+    assert!(
+        response.is_empty(),
+        "an idle connection earns no bytes: {response:?}"
+    );
+    assert!(started.elapsed() < RESOLUTION_BOUND);
+    assert!(
+        scrape(addr, "pim_conn_timeout_total") > timeouts_before,
+        "idle reaping must count as a timeout"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn mid_body_disconnect_answers_400_and_closes() {
+    let server = PlanServer::bind_with("127.0.0.1:0", short_deadlines()).expect("bind");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /v1/plan HTTP/1.1\r\nhost: t\r\ncontent-length: 100\r\n\r\n{\"net")
+        .expect("send truncated request");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+
+    let response = drain(&mut stream);
+    assert!(
+        response.starts_with("HTTP/1.1 400"),
+        "a mid-body disconnect is the client's fault and says so: {response:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_headers_answer_431_before_they_complete() {
+    let server = PlanServer::bind_with("127.0.0.1:0", short_deadlines()).expect("bind");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nx-bloat: ")
+        .expect("send start");
+    // A single header line far past the 8 KiB line limit, never
+    // terminated — the server must refuse while it is still streaming.
+    let bloat = vec![b'a'; 64 * 1024];
+    let _ = stream.write_all(&bloat); // may fail once the server closes
+    let response = drain(&mut stream);
+    assert!(
+        response.starts_with("HTTP/1.1 431"),
+        "oversized header must answer 431: {response:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_bodies_answer_413_from_the_declaration_alone() {
+    let server = PlanServer::bind_with("127.0.0.1:0", short_deadlines()).expect("bind");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // Declare a body over the 1 MiB cap; send none of it. The refusal
+    // must come from the declaration, not from reading 2 MiB.
+    stream
+        .write_all(b"POST /v1/plan HTTP/1.1\r\nhost: t\r\ncontent-length: 2097152\r\n\r\n")
+        .expect("send oversized declaration");
+    let started = Instant::now();
+    let response = drain(&mut stream);
+    assert!(
+        response.starts_with("HTTP/1.1 413"),
+        "oversized body must answer 413: {response:?}"
+    );
+    assert!(started.elapsed() < RESOLUTION_BOUND);
+    handle.shutdown();
+}
+
+#[test]
+fn a_pipelined_burst_before_half_close_is_fully_answered() {
+    let server = PlanServer::bind_with("127.0.0.1:0", short_deadlines()).expect("bind");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // Three pipelined requests, then the client half-closes without
+    // asking to close: the server must answer all three in order and
+    // only then close on the EOF.
+    let burst = "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n\
+                 GET /v1/networks HTTP/1.1\r\nhost: t\r\n\r\n\
+                 GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n";
+    stream.write_all(burst.as_bytes()).expect("send burst");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+
+    let response = drain(&mut stream);
+    // Bodies have no trailing newline, so status lines of later
+    // responses sit mid-"line"; count occurrences, not lines.
+    assert_eq!(
+        response.matches("HTTP/1.1 200 OK\r\n").count(),
+        3,
+        "all three pipelined requests answered 200: {response:?}"
+    );
+    assert!(
+        response.contains("ResNet-18"),
+        "the middle answer is the networks listing"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn the_connection_cap_sheds_with_503() {
+    // Cap of one: the first connection fills the server, the second
+    // must be shed with a 503 instead of queueing.
+    let server = PlanServer::bind_with(
+        "127.0.0.1:0",
+        ServeConfig {
+            jobs: 1,
+            shards: 1,
+            timeout: Duration::from_secs(5),
+            max_connections: 1,
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("bound");
+    let handle = server.spawn();
+
+    // A second, uncapped server scrapes the process-global registry so
+    // the capped one's connection budget stays occupied.
+    let scraper = PlanServer::bind("127.0.0.1:0", 1).expect("bind scraper");
+    let scrape_addr = scraper.local_addr().expect("bound");
+    let scrape_handle = scraper.spawn();
+    let sheds_before = scrape(scrape_addr, "pim_sheds_total");
+
+    // Fill the cap and prove the connection is live.
+    let mut occupant = TcpStream::connect(addr).expect("connect occupant");
+    occupant
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        .expect("send");
+    let mut first = [0u8; 16];
+    let n = occupant.read(&mut first).expect("occupant answered");
+    assert!(n > 0);
+
+    // The next connection is over the cap → 503, connection closed.
+    let mut shed = TcpStream::connect(addr).expect("connect past cap");
+    let response = drain(&mut shed);
+    assert!(
+        response.starts_with("HTTP/1.1 503"),
+        "over-cap connections answer 503: {response:?}"
+    );
+    assert!(
+        scrape(scrape_addr, "pim_sheds_total") > sheds_before,
+        "the shed counter must advance"
+    );
+
+    drop(occupant);
+    handle.shutdown();
+    scrape_handle.shutdown();
+}

@@ -18,12 +18,16 @@ use vw_sdk_serve::PlanServer;
 /// working directory.
 const EDGE_CNN_SPEC: &str = include_str!("specs/edge_cnn.json");
 
-/// One HTTP/1.1 exchange over a fresh connection.
+/// One HTTP/1.1 exchange over a fresh connection. `connection: close`
+/// makes the server close after answering, so EOF delimits the
+/// response; long-lived clients would keep the default keep-alive and
+/// read by `content-length` instead.
 fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nhost: example\r\ncontent-length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nhost: example\r\nconnection: close\r\n\
+         content-length: {}\r\n\r\n{body}",
         body.len()
     )?;
     let mut response = String::new();

@@ -97,14 +97,17 @@ COMMANDS:
                                      regresses below the batch-1 baseline
                                      (bench serve [--requests N]
                                       [--concurrency N] [--network NAME]
-                                      [--array RxC] [--quick] [--check]
+                                      [--array RxC] [--keep-alive]
+                                      [--sweep A,B,...] [--quick] [--check]
                                       [--emit FILE.json])
                                      loopback serving smoke: RPS plus
                                      p50/p90/p99 from the server's own
                                      pim_request_seconds histogram, and the
                                      telemetry-overhead gate (--check fails
                                      when the enabled registry costs >= 2%
-                                     on a fully cached sweep)
+                                     on a fully cached sweep); --keep-alive
+                                     reuses one connection per client thread,
+                                     --sweep reruns at extra concurrencies
     sweep    Batch design-space plan (--networks a,b,... [--spec FILE.json]
                                       --arrays RxC,... --jobs N [--format text|json])
                                      defaults: every zoo network, the Fig. 8(b)
@@ -115,7 +118,8 @@ COMMANDS:
                                      mixed-algorithm budget optimizer: per-layer
                                      im2col/SDK/VW-SDK choice + array split for
                                      the minimum pipeline bottleneck
-    serve    HTTP planning daemon    (--addr HOST:PORT --jobs N)
+    serve    HTTP planning daemon    (--addr HOST:PORT --jobs N
+                                      [--shards N] [--timeout-ms N])
                                      endpoints: GET /healthz, GET /v1/networks,
                                      GET /v1/metrics, POST /v1/plan,
                                      POST /v1/sweep, POST /v1/deploy,
@@ -149,8 +153,12 @@ OPTIONS:
                     serve: connection workers, simulate/bench: batch
                     stream workers)
     --addr H:P      Serve bind address (default 127.0.0.1:7878)
+    --shards N      Serve: event-loop shards (default 0 = auto, capped at 4)
+    --timeout-ms N  Serve: idle/read/write deadline in ms (default 30000)
     --requests N    Bench serve: total POST /v1/plan requests (default 200)
     --concurrency N Bench serve: client threads (default 4)
+    --keep-alive    Bench serve: one connection per client thread
+    --sweep A,B     Bench serve: extra concurrency levels after the main run
     --trace         Global: emit one JSON trace event per span to stderr
     --metrics-dump  Global: after the command, print the telemetry
                     registry as JSON (same schema as
@@ -282,6 +290,10 @@ pub enum Command {
         check: bool,
         /// Write the JSON report here as well.
         emit: Option<String>,
+        /// Reuse one connection per client thread (HTTP keep-alive).
+        keep_alive: bool,
+        /// Extra concurrency levels to measure after the main phase.
+        sweep: Vec<usize>,
     },
     /// `vwsdk sweep`
     Sweep {
@@ -313,8 +325,12 @@ pub enum Command {
     Serve {
         /// Bind address (`HOST:PORT`).
         addr: String,
-        /// Connection worker threads (0 = one per core).
+        /// Handler worker threads (0 = one per core).
         jobs: usize,
+        /// Event-loop shards (0 = auto, capped at 4).
+        shards: usize,
+        /// Idle/read/write deadline in milliseconds.
+        timeout_ms: u64,
     },
     /// `vwsdk --help` (or no arguments).
     Help,
@@ -418,6 +434,10 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
     let mut check = false;
     let mut requests = 200usize;
     let mut concurrency = 4usize;
+    let mut keep_alive = false;
+    let mut sweep_levels: Vec<usize> = Vec::new();
+    let mut shards = 0usize;
+    let mut timeout_ms = 30_000u64;
 
     let mut i = 1;
     let mut bench_suite = "";
@@ -492,6 +512,27 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
                 if concurrency == 0 {
                     return Err(CliError::new("--concurrency must be at least 1"));
                 }
+            }
+            "--keep-alive" => keep_alive = true,
+            "--sweep" => {
+                let v = take_value(args, &mut i, flag)?;
+                sweep_levels = v
+                    .split(',')
+                    .map(|level| parse_usize(level, flag))
+                    .collect::<std::result::Result<Vec<_>, _>>()?;
+                if sweep_levels.contains(&0) {
+                    return Err(CliError::new("--sweep levels must be at least 1"));
+                }
+            }
+            "--shards" => shards = parse_usize(take_value(args, &mut i, flag)?, flag)?,
+            "--timeout-ms" => {
+                timeout_ms = take_value(args, &mut i, flag)?
+                    .parse()
+                    .ok()
+                    .filter(|&ms| ms > 0)
+                    .ok_or_else(|| {
+                        CliError::new("--timeout-ms expects a positive millisecond count")
+                    })?
             }
             "--format" => {
                 let v = take_value(args, &mut i, flag)?;
@@ -616,6 +657,8 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             quick,
             check,
             emit,
+            keep_alive,
+            sweep: sweep_levels,
         }),
         "bench" => Ok(Command::Bench {
             network: network.unwrap_or_else(|| "vgg13-sim".to_string()),
@@ -691,7 +734,12 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             reprogram,
             format,
         }),
-        "serve" => Ok(Command::Serve { addr, jobs }),
+        "serve" => Ok(Command::Serve {
+            addr,
+            jobs,
+            shards,
+            timeout_ms,
+        }),
         other => Err(CliError::new(format!(
             "unknown command {other:?}; try `vwsdk --help`"
         ))),
@@ -1002,8 +1050,19 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                 fmt_f64(report.energy_per_image_pj(), 0),
             ))
         }
-        Command::Serve { addr, jobs } => {
-            let server = PlanServer::bind(addr.as_str(), *jobs)
+        Command::Serve {
+            addr,
+            jobs,
+            shards,
+            timeout_ms,
+        } => {
+            let config = vw_sdk_serve::ServeConfig {
+                jobs: *jobs,
+                shards: *shards,
+                timeout: std::time::Duration::from_millis(*timeout_ms),
+                ..vw_sdk_serve::ServeConfig::default()
+            };
+            let server = PlanServer::bind_with(addr.as_str(), config)
                 .map_err(|e| CliError::new(format!("cannot bind {addr:?}: {e}")))?;
             // The daemon logs every request to stderr; embedded servers
             // (tests, benches) keep the default of staying quiet.
@@ -1012,8 +1071,10 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                 .local_addr()
                 .map_err(|e| CliError::new(e.to_string()))?;
             eprintln!(
-                "vwsdk serve: listening on http://{local} ({} connection workers)",
-                server.state().pool_size()
+                "vwsdk serve: listening on http://{local} ({} workers, {} shards, \
+                 {timeout_ms}ms timeout)",
+                server.state().pool_size(),
+                server.state().shards()
             );
             eprintln!(
                 "try: curl -s http://{local}/healthz | head; \
@@ -1151,6 +1212,8 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
             quick,
             check,
             emit,
+            keep_alive,
+            sweep,
         } => {
             let options = vw_sdk_bench::servebench::ServeBenchOptions {
                 requests: *requests,
@@ -1158,6 +1221,8 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                 network: network.clone(),
                 array: array.to_string(),
                 quick: *quick,
+                keep_alive: *keep_alive,
+                sweep: sweep.clone(),
             };
             let report = vw_sdk_bench::servebench::run(&options).map_err(CliError::new)?;
             let mut out = report.render_text();
@@ -1607,11 +1672,14 @@ mod tests {
                 quick: false,
                 check: false,
                 emit: None,
+                keep_alive: false,
+                sweep: Vec::new(),
             }
         );
         let cmd = parse(&argv(
             "bench serve --requests 50 --concurrency 2 --network lenet5 \
-             --array 128x128 --quick --check --emit BENCH_serve.json",
+             --array 128x128 --keep-alive --sweep 2,8,16 --quick --check \
+             --emit BENCH_serve.json",
         ))
         .unwrap();
         match cmd {
@@ -1623,6 +1691,8 @@ mod tests {
                 quick,
                 check,
                 emit,
+                keep_alive,
+                sweep,
             } => {
                 assert_eq!(requests, 50);
                 assert_eq!(concurrency, 2);
@@ -1630,11 +1700,14 @@ mod tests {
                 assert_eq!(array.to_string(), "128x128");
                 assert!(quick && check);
                 assert_eq!(emit.as_deref(), Some("BENCH_serve.json"));
+                assert!(keep_alive);
+                assert_eq!(sweep, vec![2, 8, 16]);
             }
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(&argv("bench serve --requests 0")).is_err());
         assert!(parse(&argv("bench serve --concurrency 0")).is_err());
+        assert!(parse(&argv("bench serve --sweep 2,0")).is_err());
     }
 
     #[test]
@@ -1752,17 +1825,25 @@ mod tests {
             cmd,
             Command::Serve {
                 addr: "127.0.0.1:7878".into(),
-                jobs: 0
+                jobs: 0,
+                shards: 0,
+                timeout_ms: 30_000,
             }
         );
-        let cmd = parse(&argv("serve --addr 0.0.0.0:9000 --jobs 8")).unwrap();
+        let cmd = parse(&argv(
+            "serve --addr 0.0.0.0:9000 --jobs 8 --shards 2 --timeout-ms 5000",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Serve {
                 addr: "0.0.0.0:9000".into(),
-                jobs: 8
+                jobs: 8,
+                shards: 2,
+                timeout_ms: 5000,
             }
         );
+        assert!(parse(&argv("serve --timeout-ms 0")).is_err());
     }
 
     #[test]
