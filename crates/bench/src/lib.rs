@@ -21,6 +21,7 @@
 //! | [`sweep`] | A4: extra networks × array sizes (via the parallel, memoized `PlanningEngine`) |
 //! | [`simbench`] | A8: batched-simulation MACs/s trajectory (`BENCH_sim.json`) |
 //! | [`servebench`] | A9: loopback serving RPS/latency + telemetry-overhead gate (`BENCH_serve.json`) |
+//! | [`planbench`] | A10: cold-search plan sweep, pruned vs exhaustive (`BENCH_plan.json`) |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -33,6 +34,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod planbench;
 pub mod precision;
 pub mod servebench;
 pub mod simbench;

@@ -110,6 +110,11 @@ impl LayerCandidates {
 /// This is the sequential reference path; the planning engine's
 /// `deploy_network` reaches the same [`optimize_allocation`] through its
 /// shape-keyed plan cache and produces a byte-identical deployment.
+/// Either way, each VW-SDK candidate plan routes through the
+/// bound-pruned Algorithm 1 scan, and on the engine path repeated
+/// shapes share one candidate table across the optimizer's nested
+/// binary searches — cold deploys pay a fraction of the exhaustive
+/// search cost for identical plans.
 ///
 /// # Errors
 ///

@@ -230,9 +230,13 @@ impl PlanningEngine {
         // Search-based algorithms route through the shared search memo:
         // the search dominates planning cost, so a cold plan herd across
         // threads (or serving shards) coalesces onto one computation.
+        // The engine's worker budget doubles as the intra-search strip
+        // budget — a single huge cold layer can use the idle cores.
         let plan = match algorithm.search_options() {
             Some(options) => {
-                let result = self.searches.optimal_window_with(layer, array, options);
+                let result = self
+                    .searches
+                    .optimal_window_with_jobs(layer, array, options, self.jobs);
                 algorithm.plan_with_search(layer, array, &result)?
             }
             None => algorithm.plan(layer, array)?,
@@ -644,14 +648,42 @@ impl PlanningEngine {
     }
 
     /// Cached Algorithm 1 search (see [`SearchCache`]). The result is
-    /// shared, not cloned — traces can be large.
+    /// shared, not cloned — traces can be large. Cold pruned searches
+    /// use the engine's worker budget for their strip-parallel scan.
     pub fn search(
         &self,
         layer: &ConvLayer,
         array: PimArray,
         options: SearchOptions,
     ) -> std::sync::Arc<SearchResult> {
-        self.searches.optimal_window_with(layer, array, options)
+        self.searches
+            .optimal_window_with_jobs(layer, array, options, self.jobs)
+    }
+
+    /// Candidate-search effort already spent on a layer/array pair:
+    /// `(evaluated, pruned)` summed over the memoized results of this
+    /// engine's search-based algorithms. Purely a peek — nothing is
+    /// computed or counted — so reporting paths (`vwsdk sweep --format
+    /// json`) can explain their own cost without perturbing it. Both
+    /// numbers are zero when no search has run for the pair.
+    pub fn search_effort(&self, layer: &ConvLayer, array: PimArray) -> (u64, u64) {
+        let mut seen: Vec<SearchOptions> = Vec::new();
+        let mut evaluated = 0u64;
+        let mut pruned = 0u64;
+        for algorithm in &self.algorithms {
+            let Some(options) = algorithm.search_options() else {
+                continue;
+            };
+            if seen.contains(&options) {
+                continue;
+            }
+            seen.push(options);
+            if let Some(result) = self.searches.peek(layer, array, options) {
+                evaluated += result.evaluated() as u64;
+                pruned += result.pruned() as u64;
+            }
+        }
+        (evaluated, pruned)
     }
 
     /// The engine's search cache, for sharing with other consumers.
@@ -882,6 +914,30 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.search_hits, 1);
         assert_eq!(stats.search_misses, 2);
+    }
+
+    #[test]
+    fn search_effort_reports_memoized_candidate_counts() {
+        let engine = PlanningEngine::new();
+        let layer = ConvLayer::square("c", 56, 3, 128, 256).unwrap();
+        // Nothing searched yet: the peek sees nothing and counts nothing.
+        assert_eq!(engine.search_effort(&layer, arr(512, 512)), (0, 0));
+        engine.plan_layer(&layer, arr(512, 512)).unwrap();
+        let (evaluated, pruned) = engine.search_effort(&layer, arr(512, 512));
+        assert!(evaluated > 0 && pruned > 0, "{evaluated}/{pruned}");
+        let direct = engine.search(&layer, arr(512, 512), SearchOptions::pruned());
+        assert_eq!(evaluated, direct.evaluated() as u64);
+        assert_eq!(pruned, direct.pruned() as u64);
+    }
+
+    #[test]
+    fn worker_budget_does_not_change_search_results() {
+        let layer = ConvLayer::square("c", 224, 3, 3, 64).unwrap();
+        let sequential = PlanningEngine::new().with_jobs(1);
+        let parallel = PlanningEngine::new().with_jobs(0);
+        let a = sequential.search(&layer, arr(512, 512), SearchOptions::pruned());
+        let b = parallel.search(&layer, arr(512, 512), SearchOptions::pruned());
+        assert_eq!(a.as_ref(), b.as_ref());
     }
 
     #[test]

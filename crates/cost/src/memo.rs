@@ -49,6 +49,7 @@
 //! ```
 
 use crate::search::{self, SearchOptions, SearchResult};
+use crate::window::CandidateTable;
 use pim_arch::PimArray;
 use pim_nets::{ConvLayer, LayerShape};
 use std::collections::HashMap;
@@ -154,6 +155,11 @@ impl Drop for AbortOnUnwind<'_> {
 #[derive(Debug, Default)]
 pub struct SearchCache {
     results: RwLock<HashMap<SearchKey, Slot>>,
+    /// Per-shape candidate tables: the array-*independent* half of a
+    /// search, shared across every array geometry that re-searches the
+    /// shape (deploy optimizer, `sweep_arrays`). Keyed by shape only —
+    /// a much coarser key than `results`.
+    tables: RwLock<HashMap<LayerShape, Arc<CandidateTable>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
@@ -179,12 +185,75 @@ impl SearchCache {
         array: PimArray,
         options: SearchOptions,
     ) -> Arc<SearchResult> {
+        self.optimal_window_with_jobs(layer, array, options, 1)
+    }
+
+    /// [`optimal_window_with`](Self::optimal_window_with) with a worker
+    /// budget for the cold pruned search (`jobs = 0` means one worker
+    /// per core). `jobs` is *not* part of the memo key: the strip-based
+    /// search returns identical results and counters for every worker
+    /// count, so a result computed at one `jobs` setting serves them
+    /// all. Pruned searches additionally reuse the shape's
+    /// [`CandidateTable`] across array geometries.
+    pub fn optimal_window_with_jobs(
+        &self,
+        layer: &ConvLayer,
+        array: PimArray,
+        options: SearchOptions,
+        jobs: usize,
+    ) -> Arc<SearchResult> {
         let key = SearchKey {
             shape: layer.shape(),
             array,
             options,
         };
-        self.get_or_compute(key, &|| search::optimal_window_with(layer, array, options))
+        let table = if options.pruned {
+            Some(self.table_for(layer))
+        } else {
+            None
+        };
+        self.get_or_compute(key, &|| {
+            search::optimal_window_with_table(layer, array, options, table.as_deref(), jobs)
+        })
+    }
+
+    /// The memoized per-shape [`CandidateTable`], created on first use.
+    pub fn table_for(&self, layer: &ConvLayer) -> Arc<CandidateTable> {
+        let shape = layer.shape();
+        {
+            let tables = self.tables.read().expect("candidate tables lock poisoned");
+            if let Some(table) = tables.get(&shape) {
+                return Arc::clone(table);
+            }
+        }
+        let mut tables = self.tables.write().expect("candidate tables lock poisoned");
+        Arc::clone(
+            tables
+                .entry(shape)
+                .or_insert_with(|| Arc::new(CandidateTable::for_layer(layer))),
+        )
+    }
+
+    /// Returns the memoized result for the key if it is already
+    /// published, without counting a hit or waiting on a flight.
+    /// Reporting paths (sweep JSON's per-layer search stats) use this so
+    /// reading the stats never perturbs them.
+    pub fn peek(
+        &self,
+        layer: &ConvLayer,
+        array: PimArray,
+        options: SearchOptions,
+    ) -> Option<Arc<SearchResult>> {
+        let key = SearchKey {
+            shape: layer.shape(),
+            array,
+            options,
+        };
+        let results = self.results.read().expect("search cache lock poisoned");
+        match results.get(&key) {
+            Some(Slot::Ready(result)) => Some(Arc::clone(result)),
+            _ => None,
+        }
     }
 
     /// The single-flight engine behind [`optimal_window_with`]
@@ -270,6 +339,11 @@ impl SearchCache {
         telemetry_search_seconds().observe(started.elapsed().as_secs_f64());
         self.misses.fetch_add(1, Ordering::Relaxed);
         telemetry_counter("misses").inc();
+        // Candidate effort is only spent on cold searches, so the
+        // counters advance on misses and stay flat on warm plans.
+        telemetry_candidates("evaluated").add(result.evaluated() as u64);
+        telemetry_candidates("pruned").add(result.pruned() as u64);
+        telemetry_candidates("feasible").add(result.feasible() as u64);
         {
             let mut results = self.results.write().expect("search cache lock poisoned");
             match results.get_mut(&key) {
@@ -346,9 +420,23 @@ impl SearchCache {
         let dropped = results.len() as u64;
         results.clear();
         drop(results);
+        // Candidate tables are recomputable scratch too; clearing them
+        // keeps the memory cap meaningful for arbitrary shape streams.
+        self.tables
+            .write()
+            .expect("candidate tables lock poisoned")
+            .clear();
         if dropped > 0 {
             telemetry_counter("evictions").add(dropped);
         }
+    }
+
+    /// Number of distinct layer shapes with a memoized candidate table.
+    pub fn table_shapes(&self) -> usize {
+        self.tables
+            .read()
+            .expect("candidate tables lock poisoned")
+            .len()
     }
 }
 
@@ -374,6 +462,29 @@ fn telemetry_counter(event: &str) -> &'static pim_telemetry::Counter {
         "hits" => hits,
         "misses" => misses,
         _ => evictions,
+    }
+}
+
+/// Candidate-window effort of cold searches, labelled by what happened
+/// to the candidate: `evaluated` (full eq. (8) cost computed), `pruned`
+/// (skipped by the capacity bound before evaluation) or `feasible`
+/// (evaluated and mappable). Pruning effectiveness on a live process is
+/// `pruned / (evaluated + pruned)`.
+fn telemetry_candidates(outcome: &str) -> &'static pim_telemetry::Counter {
+    static HANDLES: std::sync::OnceLock<[pim_telemetry::Counter; 3]> = std::sync::OnceLock::new();
+    let [evaluated, pruned, feasible] = HANDLES.get_or_init(|| {
+        ["evaluated", "pruned", "feasible"].map(|o| {
+            pim_telemetry::global().counter(
+                "pim_search_candidates_total",
+                "Candidate windows of cold Algorithm 1 searches by outcome.",
+                &[("outcome", o)],
+            )
+        })
+    });
+    match outcome {
+        "evaluated" => evaluated,
+        "pruned" => pruned,
+        _ => feasible,
     }
 }
 
@@ -480,6 +591,75 @@ mod tests {
                 .any(|h| h.name == "pim_search_seconds" && h.count >= 1),
             "search timing histogram missing"
         );
+    }
+
+    #[test]
+    fn candidate_table_is_shared_across_array_geometries() {
+        let cache = SearchCache::new();
+        let layer = ConvLayer::square("c", 56, 3, 128, 256).unwrap();
+        let first = cache.optimal_window_with_jobs(&layer, arr(), SearchOptions::pruned(), 1);
+        let table = cache.table_for(&layer);
+        assert!(!table.is_empty(), "pruned search must populate the table");
+        let grown = table.len();
+        // Re-searching the same shape on another geometry reuses the
+        // same table object and gives the same answer as a direct search.
+        let other = PimArray::new(256, 256).unwrap();
+        let second = cache.optimal_window_with_jobs(&layer, other, SearchOptions::pruned(), 2);
+        assert!(Arc::ptr_eq(&table, &cache.table_for(&layer)));
+        assert_eq!(cache.table_shapes(), 1);
+        assert!(table.len() >= grown);
+        assert_eq!(
+            first.as_ref(),
+            &search::optimal_window_with(&layer, arr(), SearchOptions::pruned())
+        );
+        assert_eq!(
+            second.as_ref(),
+            &search::optimal_window_with(&layer, other, SearchOptions::pruned())
+        );
+        // Exhaustive searches never touch the table layer.
+        let fresh = SearchCache::new();
+        fresh.optimal_window_with(&layer, arr(), SearchOptions::paper());
+        assert_eq!(fresh.table_shapes(), 0);
+        // clear() drops the tables along with the results.
+        cache.clear();
+        assert_eq!(cache.table_shapes(), 0);
+    }
+
+    #[test]
+    fn peek_returns_published_results_without_counting() {
+        let cache = SearchCache::new();
+        let layer = ConvLayer::square("c", 14, 3, 64, 64).unwrap();
+        assert!(cache.peek(&layer, arr(), SearchOptions::pruned()).is_none());
+        let computed = cache.optimal_window_with(&layer, arr(), SearchOptions::pruned());
+        let peeked = cache
+            .peek(&layer, arr(), SearchOptions::pruned())
+            .expect("published result is peekable");
+        assert!(Arc::ptr_eq(&computed, &peeked));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+    }
+
+    #[test]
+    fn candidate_counters_advance_on_cold_searches_only() {
+        let snapshot_total = || {
+            pim_telemetry::global()
+                .snapshot()
+                .counters
+                .iter()
+                .filter(|c| c.name == "pim_search_candidates_total")
+                .map(|c| c.value)
+                .sum::<u64>()
+        };
+        let cache = SearchCache::new();
+        let layer = ConvLayer::square("cold", 56, 3, 64, 128).unwrap();
+        let before = snapshot_total();
+        let result = cache.optimal_window_with(&layer, arr(), SearchOptions::pruned());
+        let after_cold = snapshot_total();
+        assert_eq!(
+            after_cold - before,
+            (result.evaluated() + result.pruned() + result.feasible()) as u64
+        );
+        cache.optimal_window_with(&layer, arr(), SearchOptions::pruned());
+        assert_eq!(snapshot_total(), after_cold, "warm hits must stay flat");
     }
 
     #[test]

@@ -131,13 +131,53 @@ pub fn vw_cost(layer: &ConvLayer, array: PimArray, pw: ParallelWindow) -> Option
     if windows_in_pw == 0 {
         return None;
     }
+    let npw = n_parallel_windows(layer, pw);
+    vw_cost_tail(layer, array, pw, windows_in_pw, npw)
+}
+
+/// Evaluates eq. (8) from a memoized [`CandidateGeom`] — the
+/// array-independent half of [`vw_cost`] (window validity, `NWP`,
+/// `NPW`) comes from the table, only the capacity-dependent terms are
+/// computed here. Byte-identical to [`vw_cost`] for any candidate the
+/// Algorithm 1 enumeration emits; the pruned search calls this so a
+/// shape re-searched on another array geometry skips the shared
+/// arithmetic.
+///
+/// [`CandidateGeom`]: crate::window::CandidateGeom
+pub fn vw_cost_from_geom(
+    layer: &ConvLayer,
+    array: PimArray,
+    height: usize,
+    geom: &crate::window::CandidateGeom,
+) -> Option<VwCost> {
+    if geom.windows_in_pw == 0 {
+        return None;
+    }
+    let pw = ParallelWindow::new(geom.width, height).expect("candidate dims are positive");
+    vw_cost_tail(
+        layer,
+        array,
+        pw,
+        geom.windows_in_pw,
+        geom.n_parallel_windows,
+    )
+}
+
+/// The capacity-dependent tail of eq. (8), shared by [`vw_cost`] and
+/// [`vw_cost_from_geom`] so the two paths cannot drift.
+fn vw_cost_tail(
+    layer: &ConvLayer,
+    array: PimArray,
+    pw: ParallelWindow,
+    windows_in_pw: usize,
+    npw: u64,
+) -> Option<VwCost> {
     let ic = layer.in_channels_per_group();
     let oc = layer.out_channels_per_group();
     let ic_t = tiled_ic(array.rows(), pw);
     let oc_t = tiled_oc(array.cols(), windows_in_pw);
     let ar = ar_cycles(ic, ic_t)?;
     let ac = ac_cycles(oc, oc_t)?;
-    let npw = n_parallel_windows(layer, pw);
     let cycles = npw
         .checked_mul(ar)
         .and_then(|v| v.checked_mul(ac))

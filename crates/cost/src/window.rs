@@ -1,8 +1,12 @@
-//! Parallel-window geometry and the Algorithm 1 candidate enumeration.
+//! Parallel-window geometry and the Algorithm 1 candidate enumeration,
+//! plus the capacity lower bound and the array-independent candidate
+//! table the pruned search is built on.
 
 use crate::{CostError, Result};
+use pim_arch::PimArray;
 use pim_nets::ConvLayer;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// A parallel window: the `PWw × PWh` patch of the input feature map shared
 /// by a group of shifted, duplicated kernels (paper §II-A).
@@ -188,6 +192,177 @@ impl Iterator for Candidates {
             self.next_w += 1;
             return Some(item);
         }
+    }
+}
+
+/// Monotone lower bound on the eq. (8) cycles of any candidate window
+/// with a given area, derived purely from the array capacity.
+///
+/// For a candidate of area `A = PWw · PWh` on an `R × C` array the exact
+/// cost is `cycles = NPW · AR · AC · g` with `AR = ⌈IC / ⌊R/A⌋⌉`,
+/// `AC = ⌈OC / ⌊C/NWP⌋⌉` and `NPW = ⌈OW/wpp_w⌉ · ⌈OH/wpp_h⌉`. Two
+/// independent bounds combine:
+///
+/// * **Row bound** — `⌊R/A⌋ ≤ R/A`, so `AR ≥ ⌈IC · A / R⌉`. This term
+///   is the one that grows with the candidate's area.
+/// * **Column bound** — `NPW ≥ ⌈OW · OH / NWP⌉` (the product of two
+///   ceilings is at least the ceiling of the product) and
+///   `AC ≥ ⌈OC · NWP / C⌉`, so `NPW · AC ≥ OW · OH · OC / C` — the
+///   per-candidate window count `NWP` cancels. Both factors are
+///   integers, hence `NPW · AC ≥ ⌈OW · OH · OC / C⌉`, a constant of the
+///   layer/array pair.
+///
+/// Therefore `cycles ≥ g · ⌈IC · A / R⌉ · ⌈OW · OH · OC / C⌉`, which is
+/// non-decreasing in `A`. The pruned search skips any candidate whose
+/// bound already reaches the incumbent best (a strict-improvement
+/// update can never fire there), and — because Algorithm 1's scan rows
+/// only grow the minimum area — stops entire rows the same way. The
+/// derivation holds verbatim under stride, padding, dilation and groups
+/// (stride only reshapes `NWP`, which cancels).
+///
+/// Lossless by construction and property-tested against the exhaustive
+/// scan in `tests/search_pruning_equivalence.rs`.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleLowerBound {
+    rows: u64,
+    ic: u64,
+    groups: u64,
+    /// `⌈OW · OH · OC / C⌉`, the candidate-independent output term.
+    out_term: u64,
+}
+
+impl CycleLowerBound {
+    /// The bound for one layer/array pair.
+    pub fn new(layer: &ConvLayer, array: PimArray) -> Self {
+        let (oh, ow) = layer.output_dims();
+        let outputs = (ow as u64) * (oh as u64) * (layer.out_channels_per_group() as u64);
+        Self {
+            rows: array.rows() as u64,
+            ic: layer.in_channels_per_group() as u64,
+            groups: layer.groups() as u64,
+            out_term: outputs.div_ceil(array.cols() as u64).max(1),
+        }
+    }
+
+    /// Least possible eq. (8) cycles of any candidate with this area.
+    pub fn at(&self, area: usize) -> u64 {
+        let ar_min = (self.ic * area as u64).div_ceil(self.rows).max(1);
+        self.groups * ar_min * self.out_term
+    }
+}
+
+/// The array-independent geometry of one candidate window for one layer
+/// shape: everything eq. (8) needs except the row/column capacities.
+///
+/// Enumerating these is the part of the search that is *identical*
+/// across array geometries, so [`CandidateTable`] memoizes them per
+/// layer shape and the deploy optimizer / `sweep_arrays` re-searching
+/// the same shape on another array reuses them instead of recomputing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateGeom {
+    /// Window width (`PWw`); the height is the row's.
+    pub width: usize,
+    /// Kernel windows inside the candidate (`NWP`, stride-aware).
+    pub windows_in_pw: usize,
+    /// Parallel windows covering the layer (`NPW`, eq. (3)).
+    pub n_parallel_windows: u64,
+}
+
+/// Per-shape memo of [`CandidateGeom`] rows, grown lazily.
+///
+/// One row per candidate height `h`, holding geometries for widths
+/// `Kw ..= w` in scan order; a row is only materialized up to the
+/// largest width a caller has asked for (the pruned search caps that at
+/// the area-feasible width `⌊R/h⌋`, so a table stays at roughly
+/// `R · ln` entries rather than the full `|IFM|²` rectangle). Shared
+/// behind an `Arc` by `pim_cost::memo::SearchCache` across every array
+/// geometry that re-searches the shape.
+#[derive(Debug)]
+pub struct CandidateTable {
+    layer: ConvLayer,
+    eff_kw: usize,
+    eff_kh: usize,
+    padded_w: usize,
+    padded_h: usize,
+    /// `rows[h - eff_kh]` = geometries for widths `eff_kw ..= eff_kw + len - 1`.
+    rows: Vec<Mutex<Arc<Vec<CandidateGeom>>>>,
+}
+
+impl CandidateTable {
+    /// An empty table for the layer's shape (no rows materialized yet).
+    pub fn for_layer(layer: &ConvLayer) -> Self {
+        let eff_kh = layer.effective_kernel_h();
+        let padded_h = layer.input_h() + 2 * layer.padding();
+        let row_count = (padded_h + 1).saturating_sub(eff_kh);
+        Self {
+            layer: layer.clone(),
+            eff_kw: layer.effective_kernel_w(),
+            eff_kh,
+            padded_w: layer.input_w() + 2 * layer.padding(),
+            padded_h,
+            rows: (0..row_count)
+                .map(|_| Mutex::new(Arc::new(Vec::new())))
+                .collect(),
+        }
+    }
+
+    /// Widest candidate of any row (the padded input width).
+    pub fn padded_w(&self) -> usize {
+        self.padded_w
+    }
+
+    /// Tallest candidate row (the padded input height).
+    pub fn padded_h(&self) -> usize {
+        self.padded_h
+    }
+
+    /// The geometries of row `h`, materialized at least up to width
+    /// `up_to_w` (clamped to the padded input width). Entry `i` is the
+    /// candidate `(eff_kw + i) × h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is outside `eff_kh ..= padded_h`.
+    pub fn row(&self, h: usize, up_to_w: usize) -> Arc<Vec<CandidateGeom>> {
+        let want = (up_to_w.min(self.padded_w) + 1).saturating_sub(self.eff_kw);
+        let slot = &self.rows[h - self.eff_kh];
+        let mut guard = slot.lock().expect("candidate table lock poisoned");
+        if guard.len() < want {
+            let mut grown = Vec::with_capacity(want);
+            grown.extend_from_slice(guard.as_slice());
+            for i in guard.len()..want {
+                let width = self.eff_kw + i;
+                let pw = ParallelWindow { width, height: h };
+                let wpp_w =
+                    crate::model::windows_per_pw_axis(width, self.eff_kw, self.layer.stride());
+                let wpp_h = crate::model::windows_per_pw_axis(h, self.eff_kh, self.layer.stride());
+                let windows_in_pw = wpp_w * wpp_h;
+                grown.push(CandidateGeom {
+                    width,
+                    windows_in_pw,
+                    n_parallel_windows: if windows_in_pw == 0 {
+                        0
+                    } else {
+                        crate::model::n_parallel_windows(&self.layer, pw)
+                    },
+                });
+            }
+            *guard = Arc::new(grown);
+        }
+        Arc::clone(&guard)
+    }
+
+    /// Total geometries currently materialized (for memory accounting).
+    pub fn len(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.lock().expect("candidate table lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether nothing has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

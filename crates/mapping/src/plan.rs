@@ -80,17 +80,11 @@ impl MappingAlgorithm {
             Self::Smd => Ok(plan_smd(layer, array)),
             Self::Sdk => Ok(plan_sdk(layer, array, false)),
             Self::SdkOpt => Ok(plan_sdk(layer, array, true)),
-            Self::VwSdk => Ok(plan_vw(layer, array, SearchOptions::paper(), *self)),
-            Self::VwSdkSquare => Ok(plan_vw(
+            Self::VwSdk | Self::VwSdkSquare | Self::VwSdkFullChannel => Ok(plan_vw(
                 layer,
                 array,
-                SearchOptions::square_windows_only(),
-                *self,
-            )),
-            Self::VwSdkFullChannel => Ok(plan_vw(
-                layer,
-                array,
-                SearchOptions::no_channel_tiling(),
+                self.search_options()
+                    .expect("variable-window algorithms are search-based"),
                 *self,
             )),
         }
@@ -99,12 +93,23 @@ impl MappingAlgorithm {
     /// The Algorithm 1 [`SearchOptions`] this algorithm derives its
     /// window from, or `None` for the fixed-window algorithms
     /// (im2col, SMD, SDK) that never run the search.
+    ///
+    /// All variants run with the bound-pruned scan: it is
+    /// property-tested byte-identical to the exhaustive paper-form
+    /// search (`tests/search_pruning_equivalence.rs`), and it is what
+    /// makes cold deploy/sweep planning fast.
     pub fn search_options(&self) -> Option<SearchOptions> {
         match self {
             Self::Im2col | Self::Smd | Self::Sdk | Self::SdkOpt => None,
-            Self::VwSdk => Some(SearchOptions::paper()),
-            Self::VwSdkSquare => Some(SearchOptions::square_windows_only()),
-            Self::VwSdkFullChannel => Some(SearchOptions::no_channel_tiling()),
+            Self::VwSdk => Some(SearchOptions::pruned()),
+            Self::VwSdkSquare => Some(SearchOptions {
+                pruned: true,
+                ..SearchOptions::square_windows_only()
+            }),
+            Self::VwSdkFullChannel => Some(SearchOptions {
+                pruned: true,
+                ..SearchOptions::no_channel_tiling()
+            }),
         }
     }
 

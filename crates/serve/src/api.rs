@@ -156,12 +156,37 @@ pub fn report_summary_json(report: &NetworkReport) -> JsonValue {
 
 /// The sweep schema — `{"reports": [summary...], "cache": {...}}` —
 /// shared by `POST /v1/sweep` and `vwsdk sweep --format json`, so the
-/// wire format and the CLI's file format cannot drift apart.
-pub fn sweep_json(reports: &[NetworkReport], stats: &EngineStats) -> JsonValue {
+/// wire format and the CLI's file format cannot drift apart. Each
+/// report summary additionally carries a `"search"` array with the
+/// per-layer candidate counts (`evaluated`/`pruned`) the engine's
+/// memoized window searches actually spent, so sweep output explains
+/// its own planning cost.
+pub fn sweep_json(
+    reports: &[NetworkReport],
+    stats: &EngineStats,
+    engine: &vw_sdk::PlanningEngine,
+) -> JsonValue {
     JsonValue::object([
         (
             "reports",
-            JsonValue::array(reports.iter().map(report_summary_json)),
+            JsonValue::array(reports.iter().map(|report| {
+                let mut summary = report_summary_json(report);
+                if let JsonValue::Object(members) = &mut summary {
+                    members.push((
+                        "search".to_string(),
+                        JsonValue::array(report.layers().iter().map(|cmp| {
+                            let (evaluated, pruned) =
+                                engine.search_effort(cmp.layer(), report.array());
+                            JsonValue::object([
+                                ("layer", JsonValue::from(cmp.layer().name())),
+                                ("evaluated", evaluated.into()),
+                                ("pruned", pruned.into()),
+                            ])
+                        })),
+                    ));
+                }
+                summary
+            })),
         ),
         ("cache", stats_json(stats)),
     ])

@@ -315,7 +315,11 @@ pub fn sweep(state: &ServerState, shard: usize, body: &[u8]) -> Result<JsonValue
         }
     }
     state.trim_caches();
-    Ok(api::sweep_json(&reports, &state.stats()))
+    Ok(api::sweep_json(
+        &reports,
+        &state.stats(),
+        state.engine_at(shard),
+    ))
 }
 
 /// `POST /v1/deploy` — body: `{"network": NAME | "spec": {...},

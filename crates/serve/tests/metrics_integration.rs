@@ -83,9 +83,27 @@ fn metrics_counters_advance_across_a_scripted_sequence() {
     assert_eq!(status, 200);
     pim_telemetry::promcheck::validate(&before).expect("baseline scrape is valid Prometheus text");
 
+    // Candidate-search effort across all three outcomes; the search
+    // counters are bumped only by the single-flight leader of a cold
+    // search, so warm plans must leave the sum untouched.
+    let candidates = |text: &str| {
+        sample(text, "pim_search_candidates_total{outcome=\"evaluated\"}")
+            + sample(text, "pim_search_candidates_total{outcome=\"pruned\"}")
+            + sample(text, "pim_search_candidates_total{outcome=\"feasible\"}")
+    };
+
     // Scripted sequence: N good plans, one malformed body (400), one
-    // unknown network (422), one healthz.
-    for _ in 0..PLANS {
+    // unknown network (422), one healthz. The first plan is cold (this
+    // server has never seen the shape), the repeats are warm.
+    let (status, _) = request(addr, "POST", "/v1/plan", PLAN_OK);
+    assert_eq!(status, 200);
+    let (status, after_cold) = request(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        candidates(&after_cold) > candidates(&before),
+        "a cold plan must spend (and report) candidate-search effort"
+    );
+    for _ in 1..PLANS {
         let (status, _) = request(addr, "POST", "/v1/plan", PLAN_OK);
         assert_eq!(status, 200);
     }
@@ -137,6 +155,13 @@ fn metrics_counters_advance_across_a_scripted_sequence() {
     // misses, repeats hit).
     assert!(sample(&after, "pim_plan_cache_misses_total") >= 1);
     assert!(sample(&after, "pim_plan_cache_hits_total") >= 1);
+    // Warm plans re-used the memoized search: candidate counters are
+    // exactly where the cold plan left them.
+    assert_eq!(
+        candidates(&after),
+        candidates(&after_cold),
+        "warm plans must not re-spend candidate-search effort"
+    );
 
     // The JSON format answers the same values through the shared
     // api::metrics_json schema.

@@ -13,6 +13,7 @@
 //! vwsdk simulate --network vgg13-sim --array 64x64 --seed 7 --format json
 //! vwsdk simulate --network vgg13-sim --batch 8 --jobs 2
 //! vwsdk bench sim --quick --check --emit BENCH_sim.json
+//! vwsdk bench plan --quick --check --emit BENCH_plan.json
 //! vwsdk sweep  --networks vgg13,resnet18 --arrays 256x256,512x512 --jobs 4
 //! vwsdk sweep  --networks all --format json
 //! vwsdk deploy --network resnet18 --arrays 32 --array 512x512 --format json
@@ -108,6 +109,14 @@ COMMANDS:
                                      on a fully cached sweep); --keep-alive
                                      reuses one connection per client thread,
                                      --sweep reruns at extra concurrencies
+                                     (bench plan [--networks A,B|all]
+                                      [--arrays RxC,...] [--jobs N] [--quick]
+                                      [--check] [--emit FILE.json])
+                                     cold-search sweep: every distinct zoo
+                                     layer shape x array geometry, exhaustive
+                                     sequential baseline vs the bound-pruned
+                                     parallel search; --check fails unless
+                                     pruning is lossless and faster
     sweep    Batch design-space plan (--networks a,b,... [--spec FILE.json]
                                       --arrays RxC,... --jobs N [--format text|json])
                                      defaults: every zoo network, the Fig. 8(b)
@@ -148,7 +157,10 @@ OPTIONS:
     --emit FILE     Bench: also write the JSON report to FILE
     --quick         Bench: one timed run per point, no warm-up (CI smoke)
     --check         Bench: exit nonzero if the largest batch's MACs/s
-                    falls below the batch-1 sequential baseline
+                    falls below the batch-1 sequential baseline;
+                    bench plan: exit nonzero unless the pruned search
+                    matched the exhaustive one on every task and ran
+                    faster
     --jobs N        Worker threads; 0 = one per core (sweep: planners,
                     serve: connection workers, simulate/bench: batch
                     stream workers)
@@ -294,6 +306,22 @@ pub enum Command {
         keep_alive: bool,
         /// Extra concurrency levels to measure after the main phase.
         sweep: Vec<usize>,
+    },
+    /// `vwsdk bench plan`
+    BenchPlan {
+        /// Zoo networks contributing layer shapes (`None` = all).
+        networks: Option<Vec<String>>,
+        /// Array geometries every shape is searched against (`None` =
+        /// the bench's default four).
+        arrays: Option<Vec<PimArray>>,
+        /// One timed pass per side instead of best-of-three.
+        quick: bool,
+        /// Fail unless pruning is lossless and faster.
+        check: bool,
+        /// Write the JSON report here as well.
+        emit: Option<String>,
+        /// Worker threads for the pruned pass (0 = one per core).
+        jobs: usize,
     },
     /// `vwsdk sweep`
     Sweep {
@@ -444,13 +472,14 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
     if command == "bench" {
         // `bench` takes a suite name before its flags.
         match args.get(1).map(String::as_str) {
-            Some(suite @ ("sim" | "serve")) => {
+            Some(suite @ ("sim" | "serve" | "plan")) => {
                 bench_suite = suite;
                 i = 2;
             }
             Some(other) if !other.starts_with('-') => {
                 return Err(CliError::new(format!(
-                    "unknown bench suite {other:?}; try `vwsdk bench sim` or `vwsdk bench serve`"
+                    "unknown bench suite {other:?}; try `vwsdk bench sim`, \
+                     `vwsdk bench plan` or `vwsdk bench serve`"
                 )))
             }
             _ => {
@@ -642,6 +671,23 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             batch,
             jobs,
             format,
+        }),
+        "bench" if bench_suite == "plan" => Ok(Command::BenchPlan {
+            networks,
+            arrays: match &arrays_raw {
+                None => None,
+                Some(raw) => Some(
+                    raw.split(',')
+                        .map(|geometry| {
+                            presets::parse_array(geometry).map_err(|e| CliError::new(e.to_string()))
+                        })
+                        .collect::<std::result::Result<Vec<_>, _>>()?,
+                ),
+            },
+            quick,
+            check,
+            emit,
+            jobs,
         }),
         "bench" if bench_suite == "serve" => Ok(Command::BenchServe {
             requests,
@@ -883,13 +929,25 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                 ..Default::default()
             };
             let result = pim_cost::search::optimal_window_with(layer, *array, options);
+            // The landscape dump above is exhaustive on purpose (every
+            // feasible candidate appears); the production pruned scan is
+            // run alongside so the printed counts say what planning
+            // actually costs.
+            let pruned = pim_cost::search::optimal_window_with(
+                layer,
+                *array,
+                pim_cost::search::SearchOptions::pruned(),
+            );
             let mut trace = result.trace().to_vec();
             trace.sort_by_key(|c| c.cycles);
             let mut out = format!(
-                "{layer} on {array}: im2col {} cycles, {} candidates ({} feasible)\n\n",
+                "{layer} on {array}: im2col {} cycles, {} candidates ({} feasible); \
+                 pruned search evaluates {} and skips {}\n\n",
                 result.im2col().cycles,
                 result.evaluated(),
-                result.feasible()
+                result.feasible(),
+                pruned.evaluated(),
+                pruned.pruned()
             );
             for cost in trace.iter().take(*top) {
                 out.push_str(&format!(
@@ -940,7 +998,7 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
             if *format == SweepFormat::Json {
                 // api::sweep_json is the same function POST /v1/sweep
                 // answers with, so file and wire output cannot drift.
-                return Ok(api::sweep_json(&reports, &engine.stats()).render_pretty());
+                return Ok(api::sweep_json(&reports, &engine.stats(), &engine).render_pretty());
             }
             let mut table = TextTable::new(&[
                 "network",
@@ -1200,6 +1258,42 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                     report
                         .speedup_vs_sequential(report.max_batch())
                         .unwrap_or(0.0),
+                )));
+            }
+            Ok(out)
+        }
+        Command::BenchPlan {
+            networks,
+            arrays,
+            quick,
+            check,
+            emit,
+            jobs,
+        } => {
+            let defaults = vw_sdk_bench::planbench::PlanBenchOptions::default();
+            let options = vw_sdk_bench::planbench::PlanBenchOptions {
+                // `--networks all` spells the default explicitly.
+                networks: match networks {
+                    Some(names) if !names.iter().any(|n| n == "all") => names.clone(),
+                    _ => defaults.networks,
+                },
+                arrays: arrays.clone().unwrap_or(defaults.arrays),
+                quick: *quick,
+                jobs: *jobs,
+            };
+            let report = vw_sdk_bench::planbench::run(&options).map_err(CliError::new)?;
+            let mut out = report.render_text();
+            if let Some(path) = emit {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| CliError::new(format!("cannot write {path:?}: {e}")))?;
+                out.push_str(&format!("wrote {path}\n"));
+            }
+            if *check && !report.passes_check() {
+                return Err(CliError::new(format!(
+                    "bench check failed: pruned search must match the exhaustive one on \
+                     every task ({} mismatches) and be faster ({:.2}x)\n{out}",
+                    report.mismatches,
+                    report.speedup(),
                 )));
             }
             Ok(out)
@@ -1711,6 +1805,90 @@ mod tests {
     }
 
     #[test]
+    fn bench_plan_parses_its_flags() {
+        let cmd = parse(&argv("bench plan")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchPlan {
+                networks: None,
+                arrays: None,
+                quick: false,
+                check: false,
+                emit: None,
+                jobs: 0,
+            }
+        );
+        let cmd = parse(&argv(
+            "bench plan --networks lenet5,tiny --arrays 128x128,64x64 \
+             --jobs 2 --quick --check --emit BENCH_plan.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::BenchPlan {
+                networks,
+                arrays,
+                quick,
+                check,
+                emit,
+                jobs,
+            } => {
+                assert_eq!(
+                    networks.as_deref(),
+                    Some(&["lenet5".to_string(), "tiny".to_string()][..])
+                );
+                let arrays = arrays.unwrap();
+                assert_eq!(arrays.len(), 2);
+                assert_eq!(arrays[0].to_string(), "128x128");
+                assert!(quick && check);
+                assert_eq!(emit.as_deref(), Some("BENCH_plan.json"));
+                assert_eq!(jobs, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("bench plan --arrays 0x64")).is_err());
+    }
+
+    #[test]
+    fn bench_plan_measures_emits_and_checks() {
+        let path = std::env::temp_dir().join("vwsdk-cli-bench-plan-test.json");
+        let cmd = Command::BenchPlan {
+            networks: Some(vec!["lenet5".into(), "tiny".into()]),
+            arrays: Some(vec![
+                PimArray::new(128, 128).unwrap(),
+                PimArray::new(64, 64).unwrap(),
+            ]),
+            quick: true,
+            check: true,
+            emit: Some(path.to_string_lossy().into_owned()),
+            jobs: 2,
+        };
+        // --check passes only when the pruned search is lossless; in
+        // quick mode the speedup side can be noisy, so a failure here
+        // must still report, not panic.
+        match run(&cmd) {
+            Ok(out) => assert!(out.contains("lossless: yes"), "{out}"),
+            Err(e) => assert!(e.to_string().contains("0 mismatches"), "{e}"),
+        }
+        let emitted = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let json = JsonValue::parse(&emitted).expect("emitted bench JSON parses");
+        assert_eq!(
+            json.get("bench").and_then(JsonValue::as_str),
+            Some("plan-cold-search")
+        );
+        assert_eq!(json.get("lossless"), Some(&JsonValue::Bool(true)));
+        let bad = Command::BenchPlan {
+            networks: Some(vec!["no-such-net".into()]),
+            arrays: None,
+            quick: true,
+            check: false,
+            emit: None,
+            jobs: 1,
+        };
+        assert!(run(&bad).is_err());
+    }
+
+    #[test]
     fn global_observability_flags_parse_anywhere() {
         let plain = parse_invocation(&argv("plan --network tiny")).unwrap();
         assert!(!plain.trace && !plain.metrics_dump);
@@ -1924,6 +2102,27 @@ mod tests {
             Some(4294)
         );
         assert!(json.get("cache").is_some());
+        // The sweep explains its own planning cost: one per-layer
+        // search-effort record, with the bound actually pruning.
+        let search = reports[0]
+            .get("search")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert!(!search.is_empty());
+        let mut pruned_total = 0;
+        for entry in search {
+            assert!(entry.get("layer").and_then(JsonValue::as_str).is_some());
+            let evaluated = entry.get("evaluated").and_then(JsonValue::as_u64).unwrap();
+            let pruned = entry.get("pruned").and_then(JsonValue::as_u64).unwrap();
+            // Every layer's search ran; evaluated alone can be 0 when
+            // the bound prunes the entire candidate space.
+            assert!(evaluated + pruned > 0);
+            pruned_total += pruned;
+        }
+        assert!(
+            pruned_total > 0,
+            "the bound pruned nothing across the sweep"
+        );
     }
 
     #[test]

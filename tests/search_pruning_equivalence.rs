@@ -1,0 +1,227 @@
+//! Losslessness property: the bound-pruned, strip-parallel Algorithm-1
+//! search is byte-identical to the exhaustive paper-form scan — same
+//! winning candidate with the same full cost record, same im2col
+//! fallback, same reported window and tie-breaks — across the full zoo
+//! on the paper's array pair, under every `SearchOptions` variant, and
+//! over a proptest sweep of random layers and arrays.
+//!
+//! This is the safety net under the pruned cold path: the bound may
+//! only ever change *how many* candidates are evaluated (and every
+//! skipped one must still be accounted for in `pruned()`), never what
+//! the search returns or what plan is built from it.
+
+use proptest::prelude::*;
+use vw_sdk_repro::pim_arch::PimArray;
+use vw_sdk_repro::pim_cost::memo::SearchCache;
+use vw_sdk_repro::pim_cost::search::{self, SearchOptions, SearchResult};
+use vw_sdk_repro::pim_cost::window::CandidateTable;
+use vw_sdk_repro::pim_mapping::MappingAlgorithm;
+use vw_sdk_repro::pim_nets::{zoo, ConvLayer};
+
+/// The exhaustive/pruned pair for every search-space variant.
+fn option_pairs() -> [(SearchOptions, SearchOptions); 3] {
+    [
+        (SearchOptions::paper(), SearchOptions::pruned()),
+        (
+            SearchOptions::square_windows_only(),
+            SearchOptions {
+                pruned: true,
+                ..SearchOptions::square_windows_only()
+            },
+        ),
+        (
+            SearchOptions::no_channel_tiling(),
+            SearchOptions {
+                pruned: true,
+                ..SearchOptions::no_channel_tiling()
+            },
+        ),
+    ]
+}
+
+/// Byte-identical outcome plus candidate accounting: nothing the
+/// exhaustive scan saw may silently vanish under pruning.
+fn assert_equivalent(
+    layer: &ConvLayer,
+    array: PimArray,
+    exhaustive: &SearchResult,
+    pruned: &SearchResult,
+) {
+    let context = format!("{layer} on {array}");
+    assert_eq!(exhaustive.im2col(), pruned.im2col(), "{context}");
+    assert_eq!(exhaustive.best(), pruned.best(), "{context}");
+    assert_eq!(exhaustive.best_cycles(), pruned.best_cycles(), "{context}");
+    assert_eq!(
+        exhaustive.reported_window(layer),
+        pruned.reported_window(layer),
+        "{context}"
+    );
+    assert_eq!(
+        exhaustive.reported_tiled_ic(layer),
+        pruned.reported_tiled_ic(layer),
+        "{context}"
+    );
+    assert_eq!(
+        exhaustive.reported_tiled_oc(layer),
+        pruned.reported_tiled_oc(layer),
+        "{context}"
+    );
+    assert_eq!(
+        pruned.evaluated() + pruned.pruned(),
+        exhaustive.evaluated(),
+        "candidate accounting broke for {context}"
+    );
+    assert_eq!(exhaustive.pruned(), 0, "{context}");
+    assert!(pruned.feasible() <= exhaustive.feasible(), "{context}");
+}
+
+/// Full zoo × the paper's array pair × every search-space variant:
+/// pruned outcomes and the plans built from them are byte-identical to
+/// the exhaustive ones.
+#[test]
+fn zoo_outcomes_and_plans_are_byte_identical_under_pruning() {
+    let arrays = [
+        PimArray::new(512, 512).expect("positive"),
+        PimArray::new(512, 256).expect("positive"),
+    ];
+    let variants = [
+        MappingAlgorithm::VwSdk,
+        MappingAlgorithm::VwSdkSquare,
+        MappingAlgorithm::VwSdkFullChannel,
+    ];
+    for network in zoo::all() {
+        for layer in network.layers() {
+            for &array in &arrays {
+                for (exhaustive_options, pruned_options) in option_pairs() {
+                    let exhaustive = search::optimal_window_with(layer, array, exhaustive_options);
+                    let pruned = search::optimal_window_with(layer, array, pruned_options);
+                    assert_equivalent(layer, array, &exhaustive, &pruned);
+                }
+                // The production algorithms (pruned by default since
+                // they route through `search_options()`) must build
+                // the same plan bytes an exhaustive search feeds them.
+                for algorithm in variants {
+                    let options = algorithm
+                        .search_options()
+                        .expect("variable-window algorithms are search-based");
+                    let exhaustive_result = search::optimal_window_with(
+                        layer,
+                        array,
+                        SearchOptions {
+                            pruned: false,
+                            ..options
+                        },
+                    );
+                    let from_exhaustive = algorithm
+                        .plan_with_search(layer, array, &exhaustive_result)
+                        .expect("plannable zoo layer");
+                    let from_pruned = algorithm.plan(layer, array).expect("plannable zoo layer");
+                    assert_eq!(
+                        from_exhaustive, from_pruned,
+                        "{algorithm:?} plan diverged for {layer} on {array}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The shared candidate table and the strip budget are pure
+/// accelerators: any worker count, with or without the memo's table,
+/// returns identical results and identical counters.
+#[test]
+fn worker_count_and_candidate_table_do_not_change_results() {
+    let arrays = [
+        PimArray::new(512, 512).expect("positive"),
+        PimArray::new(256, 128).expect("positive"),
+    ];
+    for network in [zoo::vgg13(), zoo::resnet18_table1()] {
+        for layer in network.layers() {
+            let table = CandidateTable::for_layer(layer);
+            for &array in &arrays {
+                let baseline = search::optimal_window_with(layer, array, SearchOptions::pruned());
+                for jobs in [0, 1, 3, 8] {
+                    let sharded = search::optimal_window_with_table(
+                        layer,
+                        array,
+                        SearchOptions::pruned(),
+                        Some(&table),
+                        jobs,
+                    );
+                    assert_eq!(baseline.best(), sharded.best());
+                    assert_eq!(baseline.im2col(), sharded.im2col());
+                    assert_eq!(baseline.evaluated(), sharded.evaluated());
+                    assert_eq!(baseline.pruned(), sharded.pruned());
+                    assert_eq!(baseline.feasible(), sharded.feasible());
+                }
+            }
+        }
+    }
+}
+
+/// The memoized engine path: a shared cache reusing one candidate
+/// table across array geometries answers exactly like direct,
+/// cache-free searches.
+#[test]
+fn search_cache_with_shared_tables_matches_direct_search() {
+    let cache = SearchCache::new();
+    let arrays = [
+        PimArray::new(512, 512).expect("positive"),
+        PimArray::new(512, 256).expect("positive"),
+        PimArray::new(128, 128).expect("positive"),
+    ];
+    for layer in zoo::vgg13().layers() {
+        for &array in &arrays {
+            let cached = cache.optimal_window_with_jobs(layer, array, SearchOptions::pruned(), 4);
+            let direct = search::optimal_window_with(layer, array, SearchOptions::pruned());
+            assert_eq!(cached.best(), direct.best());
+            assert_eq!(cached.evaluated(), direct.evaluated());
+            assert_eq!(cached.pruned(), direct.pruned());
+        }
+    }
+    // One table per distinct shape, shared across the three geometries.
+    assert!(cache.table_shapes() <= zoo::vgg13().layers().len());
+}
+
+fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
+    (1usize..8, 3usize..40, 1usize..300, 1usize..300).prop_flat_map(|(k, extra, ic, oc)| {
+        let input = k + extra;
+        (Just(k), Just(input), Just(ic), Just(oc)).prop_map(|(k, input, ic, oc)| {
+            ConvLayer::square("prop", input, k, ic, oc).expect("valid by construction")
+        })
+    })
+}
+
+fn array_strategy() -> impl Strategy<Value = PimArray> {
+    (
+        prop_oneof![Just(64usize), Just(128), Just(256), Just(512), 16usize..600],
+        prop_oneof![Just(64usize), Just(128), Just(256), Just(512), 16usize..600],
+    )
+        .prop_map(|(r, c)| PimArray::new(r, c).expect("positive"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random layers × random arrays × every variant: pruning is
+    /// lossless and accounts for every skipped candidate.
+    #[test]
+    fn random_layers_are_searched_identically(
+        layer in layer_strategy(),
+        array in array_strategy(),
+        jobs in 1usize..6,
+    ) {
+        for (exhaustive_options, pruned_options) in option_pairs() {
+            let exhaustive = search::optimal_window_with(&layer, array, exhaustive_options);
+            let pruned = search::optimal_window_with(&layer, array, pruned_options);
+            assert_equivalent(&layer, array, &exhaustive, &pruned);
+            // Strip-sharded execution changes nothing either.
+            let table = CandidateTable::for_layer(&layer);
+            let sharded = search::optimal_window_with_table(
+                &layer, array, pruned_options, Some(&table), jobs);
+            prop_assert_eq!(pruned.best(), sharded.best());
+            prop_assert_eq!(pruned.evaluated(), sharded.evaluated());
+            prop_assert_eq!(pruned.pruned(), sharded.pruned());
+        }
+    }
+}
