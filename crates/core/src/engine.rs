@@ -785,9 +785,9 @@ impl PlanningEngine {
 fn plan_cache_counter(event: &str) -> &'static pim_telemetry::Counter {
     static HANDLES: std::sync::OnceLock<[pim_telemetry::Counter; 2]> = std::sync::OnceLock::new();
     let [hits, misses] = HANDLES.get_or_init(|| {
-        ["hits", "misses"].map(|e| {
+        ["pim_plan_cache_hits_total", "pim_plan_cache_misses_total"].map(|name| {
             pim_telemetry::global().counter(
-                &format!("pim_plan_cache_{e}_total"),
+                name,
                 "Shape-keyed plan cache events, aggregated over all engines in the process.",
                 &[],
             )

@@ -450,9 +450,14 @@ impl SearchCache {
 fn telemetry_counter(event: &str) -> &'static pim_telemetry::Counter {
     static HANDLES: std::sync::OnceLock<[pim_telemetry::Counter; 3]> = std::sync::OnceLock::new();
     let [hits, misses, evictions] = HANDLES.get_or_init(|| {
-        ["hits", "misses", "evictions"].map(|e| {
+        [
+            "pim_search_cache_hits_total",
+            "pim_search_cache_misses_total",
+            "pim_search_cache_evictions_total",
+        ]
+        .map(|name| {
             pim_telemetry::global().counter(
-                &format!("pim_search_cache_{e}_total"),
+                name,
                 "Window-search memo cache events, aggregated over all caches in the process.",
                 &[],
             )

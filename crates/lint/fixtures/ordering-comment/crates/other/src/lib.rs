@@ -1,0 +1,9 @@
+//! Seeded violation: a SeqCst store with no `// ORDERING:` comment.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Flips the flag with an unjustified strong ordering.
+pub fn flip(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,5 @@
+//! Fixture crate root: forbids unsafe so only the placement rule
+//! fires, on the submodule below.
+#![forbid(unsafe_code)]
+
+pub mod worker;

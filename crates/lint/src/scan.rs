@@ -1,0 +1,564 @@
+//! A hand-rolled Rust token scanner — just enough lexing for the lint
+//! rules in [`crate::rules`], with the parts that trip up naive
+//! grep-style checks handled correctly:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals in every flavor — plain, byte, C and raw
+//!   (`r#"…"#` with any number of hashes) — so an `unsafe` inside a
+//!   string never reads as the keyword;
+//! * lifetimes vs char literals (`'a` vs `'a'`), including escapes;
+//! * raw identifiers (`r#match`).
+//!
+//! The scanner does not build a syntax tree. It emits a flat token
+//! stream with line numbers plus per-line bookkeeping (does the line
+//! hold code? what comment text does it carry?) — the two views every
+//! rule is written against.
+
+/// What one [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `Ordering`, `foo`).
+    Ident(String),
+    /// A string literal's *contents* (escapes left as written).
+    Str(String),
+    /// A character literal (`'a'`, `'\n'`). Contents are irrelevant to
+    /// every current rule, so they are not kept.
+    CharLit,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Any other single non-whitespace character (`#`, `!`, `{`, …).
+    /// Multi-character operators arrive as consecutive tokens.
+    Punct(char),
+}
+
+/// One lexed token and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's classification and payload.
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+/// Per-line bookkeeping the comment-adjacency rules read.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineInfo {
+    /// Whether the line holds any non-comment, non-whitespace content.
+    pub has_code: bool,
+    /// Concatenated text of every comment (or comment fragment) on the
+    /// line, without the `//` / `/*` markers.
+    pub comments: String,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Scan {
+    /// The code token stream, in source order. Comments are not
+    /// tokens — they live in [`Scan::lines`].
+    pub tokens: Vec<Token>,
+    /// One entry per source line, 0-indexed (line 1 is `lines[0]`).
+    pub lines: Vec<LineInfo>,
+}
+
+impl Scan {
+    /// Whether `line` (1-based) consists of comments/whitespace only.
+    pub fn is_comment_only(&self, line: usize) -> bool {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .is_some_and(|info| !info.has_code && !info.comments.is_empty())
+    }
+
+    /// Whether `line` (1-based) is entirely blank.
+    pub fn is_blank(&self, line: usize) -> bool {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .is_some_and(|info| !info.has_code && info.comments.is_empty())
+    }
+
+    /// The comment text carried by `line` (1-based), or `""`.
+    pub fn comment_on(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map_or("", |info| info.comments.as_str())
+    }
+}
+
+/// Scans `source` into tokens and per-line info. Never fails: malformed
+/// input (an unterminated string, say) degrades to best-effort tokens —
+/// the compiler, not the linter, owns syntax errors.
+pub fn scan(source: &str) -> Scan {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Scan,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        let line_count = source.lines().count().max(1);
+        Self {
+            bytes: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Scan {
+                tokens: Vec::new(),
+                lines: vec![LineInfo::default(); line_count],
+            },
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn mark_code(&mut self) {
+        if let Some(info) = self.out.lines.get_mut(self.line - 1) {
+            info.has_code = true;
+        }
+    }
+
+    fn push_comment(&mut self, text: &str) {
+        if let Some(info) = self.out.lines.get_mut(self.line - 1) {
+            if !info.comments.is_empty() {
+                info.comments.push(' ');
+            }
+            info.comments.push_str(text);
+        }
+    }
+
+    /// Consumes one byte, tracking line numbers.
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek(0)?;
+        self.pos += 1;
+        if byte == b'\n' {
+            self.line += 1;
+        }
+        Some(byte)
+    }
+
+    fn run(mut self) -> Scan {
+        while let Some(byte) = self.peek(0) {
+            match byte {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    self.mark_code();
+                    self.string(0)
+                }
+                b'\'' => {
+                    self.mark_code();
+                    self.char_or_lifetime()
+                }
+                b'0'..=b'9' => {
+                    self.mark_code();
+                    self.number()
+                }
+                b if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => {
+                    self.mark_code();
+                    self.ident_or_prefixed()
+                }
+                other => {
+                    self.mark_code();
+                    let line = self.line;
+                    self.bump();
+                    self.out.tokens.push(Token {
+                        kind: TokenKind::Punct(other as char),
+                        line,
+                    });
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        self.bump();
+        self.bump(); // the two slashes
+        let start = self.pos;
+        while let Some(byte) = self.peek(0) {
+            if byte == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push_comment(text.trim_start_matches(['/', '!']).trim());
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // `/*`
+        let mut depth = 1usize;
+        let mut fragment = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'\n'), _) => {
+                    self.push_comment(fragment.trim_start_matches(['*', '!']).trim());
+                    fragment.clear();
+                    self.bump();
+                }
+                (Some(byte), _) => {
+                    fragment.push(byte as char);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: degrade gracefully
+            }
+        }
+        self.push_comment(fragment.trim_start_matches(['*', '!']).trim());
+    }
+
+    /// Scans a plain (non-raw) string body, the opening quote at the
+    /// current position. Backslash escapes the next byte; plain
+    /// newlines are legal inside Rust string literals.
+    fn string(&mut self, _prefix: usize) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let start = self.pos;
+        loop {
+            match self.peek(0) {
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                    self.mark_code();
+                }
+                Some(b'"') => break,
+                Some(_) => {
+                    self.bump();
+                    self.mark_code();
+                }
+                None => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str(text),
+            line,
+        });
+    }
+
+    /// Scans `r"…"` / `r#"…"#` bodies; the cursor sits on the first
+    /// `#` or `"` after the prefix letters.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let end = 'outer: loop {
+            match self.peek(0) {
+                Some(b'"') => {
+                    // A quote only closes when followed by `hashes` #s.
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let end = self.pos;
+                        self.bump();
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break 'outer end;
+                    }
+                    self.bump();
+                    self.mark_code();
+                }
+                Some(_) => {
+                    self.bump();
+                    self.mark_code();
+                }
+                None => break self.pos,
+            }
+        };
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str(text),
+            line,
+        });
+    }
+
+    /// `'` — a lifetime or a char literal.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // the quote
+        match self.peek(0) {
+            // `'\n'` and friends: always a char literal.
+            Some(b'\\') => {
+                self.bump();
+                self.bump();
+                while let Some(byte) = self.peek(0) {
+                    self.bump();
+                    if byte == b'\'' {
+                        break;
+                    }
+                }
+                self.out.tokens.push(Token {
+                    kind: TokenKind::CharLit,
+                    line,
+                });
+            }
+            // `'a…`: read the identifier run; a trailing `'` makes it a
+            // char literal (`'a'`), otherwise it is a lifetime
+            // (`'static`, `'_`).
+            Some(b) if b.is_ascii_alphanumeric() || b == b'_' => {
+                while let Some(byte) = self.peek(0) {
+                    if byte.is_ascii_alphanumeric() || byte == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    self.out.tokens.push(Token {
+                        kind: TokenKind::CharLit,
+                        line,
+                    });
+                } else {
+                    self.out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                }
+            }
+            // `'{'`, `' '` …: a char literal of one punctuation byte.
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.out.tokens.push(Token {
+                    kind: TokenKind::CharLit,
+                    line,
+                });
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self) {
+        // Numeric literals (including suffixed/exponent forms) carry no
+        // rule-relevant content; consume the alphanumeric run.
+        while let Some(byte) = self.peek(0) {
+            if byte.is_ascii_alphanumeric() || byte == b'_' || byte == b'.' {
+                // `1..=3` must leave the range operator as punctuation.
+                if byte == b'.' && self.peek(1) == Some(b'.') {
+                    break;
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// An identifier — or the identifier-like prefix of a string
+    /// literal (`r"…"`, `br#"…"#`, `b'…'`, `c"…"`) or raw identifier
+    /// (`r#match`).
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(byte) = self.peek(0) {
+            if byte.is_ascii_alphanumeric() || byte == b'_' || byte >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let ident = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        match (ident.as_str(), self.peek(0)) {
+            // Raw string prefixes: the hashes/quote follow directly.
+            ("r" | "br" | "cr", Some(b'"' | b'#')) => {
+                // `r#ident` is a raw identifier, not a raw string.
+                if self.peek(0) == Some(b'#')
+                    && self
+                        .peek(1)
+                        .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_')
+                {
+                    self.bump(); // the #
+                    let id_start = self.pos;
+                    while let Some(byte) = self.peek(0) {
+                        if byte.is_ascii_alphanumeric() || byte == b'_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[id_start..self.pos]).into_owned();
+                    self.out.tokens.push(Token {
+                        kind: TokenKind::Ident(raw),
+                        line,
+                    });
+                    return;
+                }
+                self.raw_string();
+            }
+            ("b" | "c", Some(b'"')) => self.string(0),
+            ("b", Some(b'\'')) => self.char_or_lifetime(),
+            _ => self.out.tokens.push(Token {
+                kind: TokenKind::Ident(ident),
+                line,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(scan: &Scan) -> Vec<&str> {
+        scan.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keywords_in_strings_are_not_idents() {
+        let scan = scan(r#"let x = "unsafe { }"; let y = 1;"#);
+        assert!(!idents(&scan).contains(&"unsafe"));
+        assert!(scan
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str("unsafe { }".to_string())));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_their_contents() {
+        let source = r###"let s = r#"an "unsafe" block"#; unsafe {}"###;
+        let scan = scan(source);
+        // Exactly one `unsafe` ident: the real one after the string.
+        let count = idents(&scan).iter().filter(|&&i| i == "unsafe").count();
+        assert_eq!(count, 1);
+        assert!(scan
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str("an \"unsafe\" block".to_string())));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let source = "/* outer /* unsafe */ still comment */ fn f() {}";
+        let scan = scan(source);
+        assert_eq!(idents(&scan), vec!["fn", "f"]);
+        assert!(scan.comment_on(1).contains("unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let scan = scan("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = scan
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = scan
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn escaped_quote_chars_do_not_derail() {
+        let scan = scan(r"let q = '\''; let s = 'x'; let l: &'static str;");
+        let chars = scan
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .count();
+        assert_eq!(chars, 2);
+        assert!(scan
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.line == 1));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let scan = scan("let r#match = 1; let s = r#\"text\"#;");
+        assert!(idents(&scan).contains(&"match"));
+        assert!(scan
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str("text".to_string())));
+    }
+
+    #[test]
+    fn line_info_distinguishes_comment_only_blank_and_code() {
+        let source = "// SAFETY: fine\n\nlet x = 1; // trailing\n";
+        let scan = scan(source);
+        assert!(scan.is_comment_only(1));
+        assert!(scan.comment_on(1).contains("SAFETY:"));
+        assert!(scan.is_blank(2));
+        assert!(!scan.is_comment_only(3) && !scan.is_blank(3));
+        assert!(scan.comment_on(3).contains("trailing"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments_not_code() {
+        let source = "//! crate docs mentioning unsafe\n/// item docs\nfn f() {}\n";
+        let scan = scan(source);
+        assert!(scan.is_comment_only(1));
+        assert!(scan.is_comment_only(2));
+        assert_eq!(idents(&scan), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn multiline_strings_mark_every_spanned_line_as_code() {
+        let source = "let s = \"first\nsecond\";\nlet t = 2;";
+        let scan = scan(source);
+        assert!(!scan.is_blank(1) && !scan.is_blank(2));
+        assert!(scan
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str("first\nsecond".to_string())));
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_strings() {
+        let scan = scan(r###"let a = b"unsafe"; let b = c"todo"; let c = br#"x"#;"###);
+        assert!(!idents(&scan).contains(&"unsafe"));
+        assert!(!idents(&scan).contains(&"todo"));
+    }
+
+    #[test]
+    fn numeric_literals_do_not_swallow_range_operators() {
+        let scan = scan("for i in 1..=3 { let f = 1.5e3f64; }");
+        let dots = scan
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2, "the `..` of `1..=3` must survive");
+    }
+}

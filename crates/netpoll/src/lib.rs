@@ -226,10 +226,10 @@ mod sys {
                 None => -1,
             };
             let mut raw = [EpollEvent { events: 0, data: 0 }; 128];
+            let max = raw.len() as c_int;
             // SAFETY: `raw` is a live, exclusively borrowed buffer of
-            // exactly the capacity passed as `maxevents`.
-            let count =
-                unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as c_int, timeout_ms) };
+            // exactly the `max` slots passed as `maxevents`.
+            let count = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), max, timeout_ms) };
             if count < 0 {
                 let err = io::Error::last_os_error();
                 if err.kind() == io::ErrorKind::Interrupted {
@@ -456,10 +456,13 @@ mod sys {
                 return Err(io::Error::last_os_error());
             }
             for fd in fds {
-                // SAFETY: plain fcntl flag manipulation on fds this
-                // Waker just created and owns.
+                // SAFETY: plain fcntl flag read on an fd this Waker
+                // just created and owns.
                 let flags = unsafe { fcntl(fd, F_GETFL, 0) };
-                if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+                // SAFETY: same owned fd, writing back the flags just
+                // read plus O_NONBLOCK (skipped when the read failed).
+                let failed = flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0;
+                if failed {
                     let err = io::Error::last_os_error();
                     // SAFETY: both fds are live and owned here.
                     unsafe {
@@ -631,7 +634,12 @@ mod tests {
 
     const T: Option<Duration> = Some(Duration::from_secs(5));
 
+    // Miri's shims cover epoll and eventfd but not TCP sockets, so the
+    // socket-driven tests are skipped under `cargo miri test`; the
+    // waker and timeout tests below still run there and exercise every
+    // unsafe block in this crate.
     #[test]
+    #[cfg_attr(miri, ignore = "Miri has no TCP socket shims")]
     fn a_connecting_client_makes_the_listener_readable() {
         let poller = Poller::new().unwrap();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -655,6 +663,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "Miri has no TCP socket shims")]
     fn connected_streams_report_writable_and_data_reports_readable() {
         let poller = Poller::new().unwrap();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -691,6 +700,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "Miri has no TCP socket shims")]
     fn a_peer_hangup_is_reported_closed() {
         let poller = Poller::new().unwrap();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();

@@ -181,6 +181,12 @@ impl Shard {
         let mut next_token: u64 = WAKER_TOKEN + 1;
         let mut events: Vec<Event> = Vec::new();
 
+        // ORDERING: SeqCst on the shutdown flag and the `open`
+        // connection counter throughout this loop — both sit on accept
+        // / teardown paths (microseconds next to a syscall), and the
+        // 503-at-cap guarantee the torture suite asserts wants the
+        // counter totally ordered against the acceptor's check, not
+        // merely eventually visible.
         while !self.shutdown.load(Ordering::SeqCst) {
             let now = Instant::now();
             let timeout = conns
@@ -193,6 +199,8 @@ impl Shard {
             if events.iter().any(|e| e.token == WAKER_TOKEN) {
                 self.handle.waker.drain();
             }
+            // ORDERING: SeqCst — same total order as the loop header's
+            // shutdown check.
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
@@ -200,6 +208,8 @@ impl Shard {
             // New connections from the acceptor.
             for stream in self.handle.take() {
                 if stream.set_nonblocking(true).is_err() {
+                    // ORDERING: SeqCst — the slot release must be
+                    // totally ordered against the acceptor's cap check.
                     self.open.fetch_sub(1, Ordering::SeqCst);
                     continue;
                 }
@@ -209,6 +219,7 @@ impl Shard {
                     .register(stream.as_raw_fd(), token, Interest::READABLE)
                     .is_err()
                 {
+                    // ORDERING: SeqCst — slot release, as above.
                     self.open.fetch_sub(1, Ordering::SeqCst);
                     continue;
                 }
@@ -326,6 +337,8 @@ impl Shard {
     /// Deregisters and drops a connection, releasing its slot.
     fn close(&self, poller: &Poller, conn: Conn) {
         let _ = poller.deregister(conn.stream.as_raw_fd());
+        // ORDERING: SeqCst — the released slot must be visible, in
+        // order, to the acceptor's open-connection cap check.
         self.open.fetch_sub(1, Ordering::SeqCst);
     }
 

@@ -235,16 +235,25 @@ impl PlanServer {
 
         let mut next_shard = 0usize;
         let result = loop {
+            // ORDERING: SeqCst on the shutdown flag and the `open`
+            // counter across the accept loop — once per accepted
+            // connection (next to a syscall, so strength is free), and
+            // the cap check below must observe shard-side slot
+            // releases in one total order or the torture suite's
+            // 503-at-cap bound would race.
             if self.shutdown.load(Ordering::SeqCst) {
                 break Ok(());
             }
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     count_conn_open();
+                    // ORDERING: SeqCst — cap check, see loop header.
                     if open.load(Ordering::SeqCst) >= self.max_connections {
                         shed_connection(stream);
                         continue;
                     }
+                    // ORDERING: SeqCst — slot claim paired with the
+                    // check above and the shards' releases.
                     open.fetch_add(1, Ordering::SeqCst);
                     let handle = &handles[next_shard % handles.len()];
                     next_shard = next_shard.wrapping_add(1);
@@ -268,6 +277,8 @@ impl PlanServer {
         // Wind down: stop the shards (serving their open connections'
         // in-flight writes is the workers' job; the shards drop what
         // remains), then drain and join the worker pool.
+        // ORDERING: SeqCst — the stop must be visible to every shard
+        // before the wakes below, in the order they check it.
         self.shutdown.store(true, Ordering::SeqCst);
         for handle in &handles {
             let _ = handle.waker.wake();
@@ -354,6 +365,9 @@ impl ServerHandle {
     /// Signals the acceptor and shards to stop, unblocks them, and
     /// joins them. Connections still open are dropped.
     pub fn shutdown(mut self) {
+        // ORDERING: SeqCst — must be visible to the acceptor before
+        // the unblocking connect below reaches it; runs once per
+        // server lifetime.
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(addr) = self.addr {
             // Unblock the accept call with one throwaway connection.

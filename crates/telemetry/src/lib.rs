@@ -73,6 +73,10 @@ static ENABLED: AtomicBool = AtomicBool::new(true);
 /// sees frozen values. This is the "registry stubbed" switch the
 /// observation-only guarantee is tested against.
 pub fn set_enabled(enabled: bool) {
+    // ORDERING: SeqCst makes the toggle a total-order point: the
+    // observation-only property tests flip it between measurement
+    // phases and must never see a phase straddle the switch. It is
+    // called a handful of times per process, so strength is free.
     ENABLED.store(enabled, Ordering::SeqCst);
 }
 

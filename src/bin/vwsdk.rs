@@ -27,8 +27,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(err) => {
+            // Unlike parse errors, execution failures (a failed bench
+            // --check, lint violations from `vwsdk check`) don't
+            // re-print the usage text — it would drown the report.
             eprintln!("error: {err}");
-            eprintln!("{}", vw_sdk_repro::cli::USAGE);
             ExitCode::FAILURE
         }
     }

@@ -134,6 +134,15 @@ COMMANDS:
                                      POST /v1/sweep, POST /v1/deploy,
                                      POST /v1/simulate; one JSON access-log
                                      line per request on stderr
+    check    In-tree static analysis ([--root DIR] [--format text|json]
+                                      [--list-rules])
+                                     runs the pim-lint rules over the
+                                     workspace (unsafe placement, SAFETY:
+                                     and ORDERING: justifications, banned
+                                     macros, doc-table drift); exits
+                                     nonzero on any violation — the same
+                                     gate CI and the repo's own test
+                                     suite enforce (docs/STATIC_ANALYSIS.md)
 
 OPTIONS:
     --array RxC     PIM array geometry, e.g. 512x512 (default 512x512)
@@ -167,6 +176,9 @@ OPTIONS:
     --addr H:P      Serve bind address (default 127.0.0.1:7878)
     --shards N      Serve: event-loop shards (default 0 = auto, capped at 4)
     --timeout-ms N  Serve: idle/read/write deadline in ms (default 30000)
+    --root DIR      Check: workspace root to analyze (default: walk up
+                    from the current directory to the first [workspace])
+    --list-rules    Check: print the rule catalog instead of running
     --requests N    Bench serve: total POST /v1/plan requests (default 200)
     --concurrency N Bench serve: client threads (default 4)
     --keep-alive    Bench serve: one connection per client thread
@@ -360,6 +372,16 @@ pub enum Command {
         /// Idle/read/write deadline in milliseconds.
         timeout_ms: u64,
     },
+    /// `vwsdk check`
+    Check {
+        /// Workspace root to analyze (`None` = auto-discover by walking
+        /// up from the current directory).
+        root: Option<String>,
+        /// Output format for the violation report.
+        format: SweepFormat,
+        /// Print the rule catalog instead of running the rules.
+        list_rules: bool,
+    },
     /// `vwsdk --help` (or no arguments).
     Help,
 }
@@ -466,6 +488,8 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
     let mut sweep_levels: Vec<usize> = Vec::new();
     let mut shards = 0usize;
     let mut timeout_ms = 30_000u64;
+    let mut root: Option<String> = None;
+    let mut list_rules = false;
 
     let mut i = 1;
     let mut bench_suite = "";
@@ -553,6 +577,8 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
                     return Err(CliError::new("--sweep levels must be at least 1"));
                 }
             }
+            "--root" => root = Some(take_value(args, &mut i, flag)?.to_string()),
+            "--list-rules" => list_rules = true,
             "--shards" => shards = parse_usize(take_value(args, &mut i, flag)?, flag)?,
             "--timeout-ms" => {
                 timeout_ms = take_value(args, &mut i, flag)?
@@ -785,6 +811,11 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, CliError> {
             jobs,
             shards,
             timeout_ms,
+        }),
+        "check" => Ok(Command::Check {
+            root,
+            format,
+            list_rules,
         }),
         other => Err(CliError::new(format!(
             "unknown command {other:?}; try `vwsdk --help`"
@@ -1335,6 +1366,89 @@ pub fn run(command: &Command) -> std::result::Result<String, CliError> {
                 }
             }
             Ok(out)
+        }
+        Command::Check {
+            root,
+            format,
+            list_rules,
+        } => {
+            use pim_report::json::JsonValue;
+            if *list_rules {
+                if *format == SweepFormat::Json {
+                    let rules = pim_lint::RULES.iter().map(|rule| {
+                        JsonValue::object([
+                            ("name", JsonValue::from(rule.name)),
+                            ("summary", JsonValue::from(rule.summary)),
+                            ("suppressible", JsonValue::from(rule.suppressible)),
+                        ])
+                    });
+                    return Ok(
+                        JsonValue::object([("rules", JsonValue::array(rules))]).render_pretty()
+                    );
+                }
+                let mut out = String::from("rules (suppress with `// lint:allow(<name>)`):\n");
+                for rule in pim_lint::RULES {
+                    out.push_str(&format!(
+                        "  {:<24} {}{}\n",
+                        rule.name,
+                        rule.summary
+                            .split_whitespace()
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                        if rule.suppressible {
+                            ""
+                        } else {
+                            " [not suppressible]"
+                        }
+                    ));
+                }
+                return Ok(out);
+            }
+            let root_dir = match root {
+                Some(dir) => std::path::PathBuf::from(dir),
+                None => {
+                    let cwd = std::env::current_dir()
+                        .map_err(|e| CliError::new(format!("cannot read current dir: {e}")))?;
+                    pim_lint::find_repo_root(&cwd).ok_or_else(|| {
+                        CliError::new(
+                            "no [workspace] Cargo.toml above the current directory; \
+                             pass --root DIR",
+                        )
+                    })?
+                }
+            };
+            let report = pim_lint::check_repo(&root_dir)
+                .map_err(|e| CliError::new(format!("cannot scan {}: {e}", root_dir.display())))?;
+            if *format == SweepFormat::Json {
+                let violations = report.violations.iter().map(|v| {
+                    JsonValue::object([
+                        ("rule", JsonValue::from(v.rule)),
+                        ("file", JsonValue::from(v.file.as_str())),
+                        ("line", JsonValue::from(v.line)),
+                        ("message", JsonValue::from(v.message.as_str())),
+                    ])
+                });
+                let rendered = JsonValue::object([
+                    ("files_scanned", JsonValue::from(report.files_scanned)),
+                    ("clean", JsonValue::from(report.is_clean())),
+                    ("violations", JsonValue::array(violations)),
+                ])
+                .render_pretty();
+                if report.is_clean() {
+                    return Ok(rendered);
+                }
+                return Err(CliError::new(rendered));
+            }
+            if report.is_clean() {
+                return Ok(format!("checked {} files: clean\n", report.files_scanned));
+            }
+            let listing: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+            Err(CliError::new(format!(
+                "{}\nchecked {} files: {} violation(s)",
+                listing.join("\n"),
+                report.files_scanned,
+                report.violations.len()
+            )))
         }
         Command::Verify {
             network,
@@ -2123,6 +2237,60 @@ mod tests {
             pruned_total > 0,
             "the bound pruned nothing across the sweep"
         );
+    }
+
+    #[test]
+    fn check_parses_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("check")).unwrap(),
+            Command::Check {
+                root: None,
+                format: SweepFormat::Text,
+                list_rules: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("check --root /tmp/ws --format json --list-rules")).unwrap(),
+            Command::Check {
+                root: Some("/tmp/ws".into()),
+                format: SweepFormat::Json,
+                list_rules: true,
+            }
+        );
+    }
+
+    #[test]
+    fn check_list_rules_prints_the_whole_catalog() {
+        let cmd = parse(&argv("check --list-rules")).unwrap();
+        let out = run(&cmd).unwrap();
+        for rule in pim_lint::RULES {
+            assert!(out.contains(rule.name), "missing {}:\n{out}", rule.name);
+        }
+        let json_out = run(&parse(&argv("check --list-rules --format json")).unwrap()).unwrap();
+        let json = JsonValue::parse(&json_out).expect("rule catalog JSON parses");
+        assert_eq!(
+            json.get("rules")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(pim_lint::RULES.len())
+        );
+    }
+
+    #[test]
+    fn check_passes_on_this_workspace_and_fails_on_a_seeded_fixture() {
+        let root = env!("CARGO_MANIFEST_DIR");
+        let out = run(&parse(&argv(&format!("check --root {root}"))).unwrap()).unwrap();
+        assert!(out.contains("clean"), "{out}");
+
+        let fixture = format!("{root}/crates/lint/fixtures/banned-macro");
+        let err = run(&parse(&argv(&format!("check --root {fixture}"))).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("[banned-macro]"), "{err}");
+
+        let json_err =
+            run(&parse(&argv(&format!("check --root {fixture} --format json"))).unwrap())
+                .unwrap_err();
+        let json = JsonValue::parse(&json_err.to_string()).expect("violation JSON parses");
+        assert_eq!(json.get("clean"), Some(&JsonValue::Bool(false)));
     }
 
     #[test]

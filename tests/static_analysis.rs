@@ -1,0 +1,32 @@
+//! The repo gates itself: `pim_lint::check_repo` over this workspace
+//! must come back clean. This is the same engine `vwsdk check` runs
+//! and CI fails on — a lint violation anywhere in the tree fails
+//! `cargo test` too, so the invariant cannot rot between CI configs.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_passes_its_own_static_analysis() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = pim_lint::check_repo(root).expect("walkable workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let listing: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "{} lint violation(s):\n{}",
+        report.violations.len(),
+        listing.join("\n")
+    );
+}
+
+#[test]
+fn every_rule_in_the_catalog_has_a_distinct_name() {
+    let mut names: Vec<&str> = pim_lint::RULES.iter().map(|r| r.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), pim_lint::RULES.len());
+}
